@@ -1,0 +1,204 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/enum"
+	"spanjoin/internal/rel"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+	"spanjoin/internal/workload"
+)
+
+func init() {
+	register("E3", "Lemma 3.10 — join construction cost and k-way blow-up", runE3)
+	register("E4", "Thm 3.11 vs Thm 3.5 — automata vs canonical plans on the intro IE query", runE4)
+	register("E7", "Thm 3.5 — canonical plan: Yannakakis vs greedy join order on acyclic CQs", runE7)
+}
+
+func runE3(quick bool) {
+	fmt.Println("Binary join of two automata of ~n states (patterns with a shared variable).")
+	fmt.Println("Claim: construction polynomial (O(v·n⁴) worst case); boundary-pair synchronization")
+	fmt.Println("keeps observed growth near the product of boundary-state counts.")
+	fmt.Println()
+	ms := []int{4, 8, 16, 32, 64}
+	if quick {
+		ms = ms[:4]
+	}
+	t := newTable("m", "n1", "n2", "join states", "time", "time ratio")
+	var prev time.Duration
+	for _, m := range ms {
+		a1 := rgx.MustCompilePattern(strings.Repeat("(a|b)", m) + ".*x{a+}.*")
+		a2 := rgx.MustCompilePattern(".*x{a+}.*" + strings.Repeat("(b|a)", m))
+		var j *vsa.VSA
+		d := timeIt(func() {
+			var err error
+			j, err = vsa.Join(a1, a2)
+			if err != nil {
+				panic(err)
+			}
+		})
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(d)/float64(prev))
+		}
+		prev = d
+		t.add(m, a1.Trim().NumStates(), a2.Trim().NumStates(), j.NumStates(), d, ratio)
+	}
+	t.print()
+
+	fmt.Println()
+	fmt.Println("k-way join blow-up (k atoms `.*xi{a+}.*` with private variables).")
+	fmt.Println("Claim (after Lemma 3.10): size grows like n^2k — exponential in k; this is why")
+	fmt.Println("regex k-UCQs fix k (Thm 3.11) and unbounded joins are hard (Thm 3.2).")
+	fmt.Println()
+	kmax := 5
+	if quick {
+		kmax = 4
+	}
+	t2 := newTable("k", "joined states", "state ratio", "construction")
+	prevStates := 0
+	for k := 1; k <= kmax; k++ {
+		autos := make([]*vsa.VSA, k)
+		for i := range autos {
+			autos[i] = rgx.MustCompilePattern(fmt.Sprintf(".*x%d{a+}.*", i+1))
+		}
+		var j *vsa.VSA
+		d := timeIt(func() {
+			var err error
+			j, err = vsa.JoinAll(autos...)
+			if err != nil {
+				panic(err)
+			}
+		})
+		ratio := "-"
+		if prevStates > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(j.NumStates())/float64(prevStates))
+		}
+		prevStates = j.NumStates()
+		t2.add(k, j.NumStates(), ratio, d)
+	}
+	t2.print()
+}
+
+// introQuery builds the paper's introductory IE query (1) over synthetic
+// documents: sentences containing a Belgium address and the token police.
+func introQuery() *core.CQ {
+	mk := func(name, p string) *core.Atom {
+		a, err := core.NewAtom(name, p)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}
+	return &core.CQ{
+		Atoms: []*core.Atom{
+			mk("sen", `(.*\. )?x{[A-Za-z0-9 ]+\.}( .*)?`),
+			mk("adr", `.*y{[A-Za-z]+ z{Belgium}}.*`),
+			mk("subYX", `.*x{.*y{.*}.*}.*`),
+			mk("plc", `.*w{police}.*`),
+			mk("subWX", `.*x{.*w{.*}.*}.*`),
+		},
+		Projection: span.NewVarList("x"),
+	}
+}
+
+func runE4(quick bool) {
+	fmt.Println("The intro query (1): sentences with a Belgium address and the token police,")
+	fmt.Println("on synthetic documents (5-atom CQ, k bounded). Canonical materializes every atom")
+	fmt.Println("relation — including the O(|s|⁴)-tuple subspan atoms — while the automata plan")
+	fmt.Println("compiles one vset-automaton and enumerates with polynomial delay.")
+	fmt.Println("Claim: automata wins and the gap widens with |s| (canonical pays for materialization).")
+	fmt.Println()
+	sentences := []int{1, 2, 4, 8, 16}
+	if !quick {
+		sentences = append(sentences, 32)
+	}
+	// The subspan atoms define Θ(|s|⁴) tuples: the canonical plan's
+	// materialization is the paper's "main problem" (§3.2) and becomes
+	// infeasible quickly; skip it beyond this document size.
+	const canonicalLimit = 120
+	t := newTable("sentences", "|s|", "answers", "automata", "canonical", "canonical/automata")
+	for _, sc := range sentences {
+		doc := workload.Document(workload.Rand(42), workload.DocumentOptions{
+			Sentences: sc, AddressRate: 0.5, PoliceRate: 0.5,
+		})
+		q := introQuery()
+		var ra, rc *rel.Relation
+		da := timeIt(func() {
+			var err error
+			ra, err = q.Eval(doc, core.Options{Strategy: core.Automata})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if len(doc) > canonicalLimit {
+			t.add(sc, len(doc), ra.Len(), da, "n/a (Θ(|s|⁴) atom materialization)", "∞")
+			continue
+		}
+		dc := timeIt(func() {
+			var err error
+			rc, err = q.Eval(doc, core.Options{Strategy: core.Canonical})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if ra.Len() != rc.Len() {
+			panic(fmt.Sprintf("plans disagree: %d vs %d", ra.Len(), rc.Len()))
+		}
+		t.add(sc, len(doc), ra.Len(), da, dc, float64(dc)/float64(da))
+	}
+	t.print()
+}
+
+func runE7(quick bool) {
+	fmt.Println("Acyclic chain CQ over synthetic logs: level(x) — op(x,y) — id(y,z); every atom")
+	fmt.Println("has a key attribute (polynomially bounded, §3.3.2). Canonical evaluation with")
+	fmt.Println("Yannakakis (full semijoin reduction) vs greedy hash joins on the materialized")
+	fmt.Println("relations. Claim (Thm 3.5 / Yannakakis): semijoin reduction avoids intermediate")
+	fmt.Println("blow-up; greedy pays on skewed inputs.")
+	fmt.Println()
+	lines := []int{50, 100, 200}
+	if !quick {
+		lines = append(lines, 400)
+	}
+	// Chain: ERROR lines, with op token to its right, then id field.
+	patterns := []string{
+		`.*x{ERROR} op=.*`,
+		`.*x{[A-Z]+} op=y{[a-z]+} .*`,
+		`.*op=y{[a-z]+} id=z{[0-9a-f]+} .*`,
+	}
+	t := newTable("log lines", "|s|", "answers", "yannakakis", "greedy", "greedy/yann")
+	for _, n := range lines {
+		doc := workload.Logs(workload.Rand(7), n)
+		rels := make([]*rel.Relation, len(patterns))
+		var edges []span.VarList
+		for i, p := range patterns {
+			a := rgx.MustCompilePattern(p)
+			vars, tuples, err := enum.Eval(a, doc)
+			if err != nil {
+				panic(err)
+			}
+			rels[i] = rel.FromTuples(vars, tuples)
+			edges = append(edges, vars)
+		}
+		h := &rel.Hypergraph{Edges: edges}
+		tree, ok := h.IsAcyclic()
+		if !ok {
+			panic("chain query should be acyclic")
+		}
+		out := span.NewVarList("x", "y", "z")
+		var yann, greedy *rel.Relation
+		dy := timeIt(func() { yann = rel.Yannakakis(tree, rels, out) })
+		dg := timeIt(func() { greedy = rel.JoinAllGreedy(rels).Project(out) })
+		if yann.Len() != greedy.Len() {
+			panic(fmt.Sprintf("plans disagree: %d vs %d", yann.Len(), greedy.Len()))
+		}
+		t.add(n, len(doc), yann.Len(), dy, dg, float64(dg)/float64(dy))
+	}
+	t.print()
+}

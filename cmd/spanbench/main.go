@@ -1,0 +1,130 @@
+// Command spanbench regenerates every experiment table and figure recorded
+// in EXPERIMENTS.md: empirical validations of the paper's complexity
+// claims (E1–E10) and exact reproductions of its worked examples and of
+// Figure 1 (F1, G1).
+//
+// Usage:
+//
+//	spanbench [-experiment all|E1|E2|...|E10|F1|G1] [-quick]
+//
+// All workloads are seeded; output is deterministic modulo wall-clock
+// timings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(quick bool)
+}
+
+var experiments []experiment
+
+func register(id, title string, run func(quick bool)) {
+	experiments = append(experiments, experiment{id, title, run})
+}
+
+func main() {
+	which := flag.String("experiment", "all", "experiment id (E1..E10, F1, G1) or 'all'")
+	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	flag.Parse()
+
+	sort.Slice(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
+	ran := false
+	for _, e := range experiments {
+		if *which != "all" && !strings.EqualFold(*which, e.id) {
+			continue
+		}
+		ran = true
+		fmt.Printf("## %s — %s\n\n", e.id, e.title)
+		e.run(*quick)
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "spanbench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+// table is a tiny markdown table printer.
+type table struct {
+	headers []string
+	rows    [][]string
+}
+
+func newTable(headers ...string) *table { return &table{headers: headers} }
+
+func (t *table) add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = fmtDuration(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) print() {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println("| " + strings.Join(parts, " | ") + " |")
+	}
+	line(t.headers)
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// timeIt runs f and returns the elapsed wall time.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

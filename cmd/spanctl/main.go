@@ -1,0 +1,286 @@
+// Command spanctl is the command-line interface to the spanjoin document-
+// spanner engine.
+//
+// Usage:
+//
+//	spanctl eval  -p PATTERN [-d DOC | -f FILE] [-max N] [-json]
+//	    evaluate a regex formula and print every match
+//	spanctl check -p PATTERN
+//	    parse a pattern and report functionality
+//	spanctl dot   -p PATTERN
+//	    print the compiled vset-automaton in Graphviz dot format
+//	spanctl key   -p PATTERN -x VAR
+//	    decide whether VAR is a key attribute (Prop 3.6)
+//	spanctl query -atom P [-atom P ...] [-equal x,y] [-project v,w] [-strategy s] [-d DOC]
+//	    evaluate a conjunctive query over regex atoms
+//
+// Examples:
+//
+//	spanctl eval -p '.*x{[a-z]+}@y{[a-z]+}.*' -d 'mail bob@example now'
+//	spanctl check -p 'x{a}|y{b}'
+//	spanctl key -p '.*x{a}y{b}.*' -x x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"spanjoin"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/vsa"
+)
+
+func main() {
+	code := run(os.Args[1:], os.Stdout, os.Stderr)
+	os.Exit(code)
+}
+
+// run dispatches a spanctl invocation; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "eval":
+		err = cmdEval(args[1:], stdout, stderr)
+	case "check":
+		err = cmdCheck(args[1:], stdout)
+	case "dot":
+		err = cmdDot(args[1:], stdout)
+	case "key":
+		err = cmdKey(args[1:], stdout)
+	case "query":
+		err = cmdQuery(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stderr)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "spanctl: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "spanctl:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: spanctl <eval|check|dot|key|query> [flags]
+  eval  -p PATTERN [-d DOC | -f FILE] [-max N] [-json]   evaluate on a document
+  check -p PATTERN                                       functionality check
+  dot   -p PATTERN                                       automaton as Graphviz dot
+  key   -p PATTERN -x VAR                                key-attribute test
+  query -atom P [-atom P ...] [-equal x,y] [-project v,w] [-strategy s] [-d DOC|-f FILE]
+        evaluate a conjunctive query over regex atoms`)
+}
+
+func readDoc(doc, file string) (string, error) {
+	switch {
+	case doc != "":
+		return doc, nil
+	case file == "-":
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	case file != "":
+		b, err := os.ReadFile(file)
+		return string(b), err
+	}
+	return "", fmt.Errorf("provide a document with -d or -f (use -f - for stdin)")
+}
+
+func cmdEval(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	pattern := fs.String("p", "", "regex formula pattern")
+	doc := fs.String("d", "", "document text")
+	file := fs.String("f", "", "document file ('-' for stdin)")
+	maxN := fs.Int("max", 0, "stop after N matches (0 = all)")
+	asJSON := fs.Bool("json", false, "emit JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("-p is required")
+	}
+	text, err := readDoc(*doc, *file)
+	if err != nil {
+		return err
+	}
+	sp, err := spanjoin.Compile(*pattern)
+	if err != nil {
+		return err
+	}
+	it, err := sp.Iterate(text)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	count := 0
+	for {
+		m, ok := it.Next()
+		if !ok {
+			break
+		}
+		count++
+		if *asJSON {
+			row := map[string]any{}
+			for _, v := range m.Vars() {
+				p, _ := m.Span(v)
+				s, _ := m.Substr(v)
+				row[v] = map[string]any{"start": p.Start, "end": p.End, "text": s}
+			}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+		} else {
+			fmt.Fprintln(stdout, m)
+		}
+		if *maxN > 0 && count >= *maxN {
+			break
+		}
+	}
+	fmt.Fprintf(stderr, "%d match(es)\n", count)
+	return nil
+}
+
+func cmdCheck(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	pattern := fs.String("p", "", "regex formula pattern")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("-p is required")
+	}
+	f, err := rgx.Parse(*pattern)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pattern:   %s\n", f)
+	fmt.Fprintf(stdout, "variables: %v\n", f.Vars)
+	fmt.Fprintf(stdout, "size:      %d nodes\n", f.Size())
+	if err := f.CheckFunctional(); err != nil {
+		fmt.Fprintf(stdout, "functional: no (%v)\n", err)
+		return fmt.Errorf("pattern is not functional")
+	}
+	fmt.Fprintln(stdout, "functional: yes")
+	return nil
+}
+
+func cmdDot(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	pattern := fs.String("p", "", "regex formula pattern")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("-p is required")
+	}
+	a, err := rgx.CompilePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, a.Dot(*pattern))
+	return nil
+}
+
+func cmdKey(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("key", flag.ContinueOnError)
+	pattern := fs.String("p", "", "regex formula pattern")
+	x := fs.String("x", "", "variable to test")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" || *x == "" {
+		return fmt.Errorf("-p and -x are required")
+	}
+	a, err := rgx.CompilePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	ok, err := vsa.KeyAttribute(a, *x)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "key(%s) = %v\n", *x, ok)
+	return nil
+}
+
+// stringList collects repeated flag values.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func cmdQuery(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	var atoms, equals stringList
+	fs.Var(&atoms, "atom", "regex atom (repeatable)")
+	fs.Var(&equals, "equal", "string equality x,y (repeatable)")
+	project := fs.String("project", "", "comma-separated output variables (empty = all)")
+	doc := fs.String("d", "", "document text")
+	file := fs.String("f", "", "document file ('-' for stdin)")
+	strategy := fs.String("strategy", "auto", "auto|canonical|automata")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(atoms) == 0 {
+		return fmt.Errorf("at least one -atom is required")
+	}
+	text, err := readDoc(*doc, *file)
+	if err != nil {
+		return err
+	}
+	b := spanjoin.NewQuery()
+	for i, p := range atoms {
+		b.AtomNamed(fmt.Sprintf("atom%d", i+1), p)
+	}
+	for _, eq := range equals {
+		parts := strings.SplitN(eq, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-equal wants x,y; got %q", eq)
+		}
+		b.Equal(parts[0], parts[1])
+	}
+	if *project != "" {
+		b.Project(strings.Split(*project, ",")...)
+	}
+	q, err := b.Build()
+	if err != nil {
+		return err
+	}
+	var opts []spanjoin.Option
+	switch *strategy {
+	case "auto":
+	case "canonical":
+		opts = append(opts, spanjoin.WithStrategy(spanjoin.StrategyCanonical))
+	case "automata":
+		opts = append(opts, spanjoin.WithStrategy(spanjoin.StrategyAutomata))
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	fmt.Fprintf(stderr, "plan: %v (acyclic=%v gamma-acyclic=%v)\n",
+		q.PlannedStrategy(opts...), q.IsAcyclic(), q.IsGammaAcyclic())
+	ms, err := q.Iterate(text, opts...)
+	if err != nil {
+		return err
+	}
+	count := 0
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		count++
+		fmt.Fprintln(stdout, m)
+	}
+	fmt.Fprintf(stderr, "%d result(s)\n", count)
+	return nil
+}

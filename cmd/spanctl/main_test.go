@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCtl(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+func TestEvalCommand(t *testing.T) {
+	out, errw, code := runCtl(t, "eval", "-p", ".*x{ab}.*", "-d", "zabzab")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "x=[2,4⟩") || !strings.Contains(out, "x=[5,7⟩") {
+		t.Errorf("output missing spans: %q", out)
+	}
+	if !strings.Contains(errw, "2 match(es)") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestEvalJSON(t *testing.T) {
+	out, _, code := runCtl(t, "eval", "-p", ".*x{ab}.*", "-d", "zab", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var row map[string]struct {
+		Start int    `json:"start"`
+		End   int    `json:"end"`
+		Text  string `json:"text"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &row); err != nil {
+		t.Fatalf("bad json %q: %v", out, err)
+	}
+	if row["x"].Start != 2 || row["x"].End != 4 || row["x"].Text != "ab" {
+		t.Errorf("row = %+v", row)
+	}
+}
+
+func TestEvalMaxFlag(t *testing.T) {
+	out, _, code := runCtl(t, "eval", "-p", "a*x{a}a*", "-d", "aaaa", "-max", "2")
+	if code != 0 {
+		t.Fatal("exit != 0")
+	}
+	if n := strings.Count(out, "x="); n != 2 {
+		t.Errorf("got %d matches, want 2 (out %q)", n, out)
+	}
+}
+
+func TestEvalFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.txt")
+	if err := os.WriteFile(path, []byte("xaby"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runCtl(t, "eval", "-p", ".*v{ab}.*", "-f", path)
+	if code != 0 || !strings.Contains(out, "v=[2,4⟩") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	if _, _, code := runCtl(t, "eval", "-d", "x"); code == 0 {
+		t.Error("missing -p should fail")
+	}
+	if _, _, code := runCtl(t, "eval", "-p", "x{a}"); code == 0 {
+		t.Error("missing doc should fail")
+	}
+	if _, _, code := runCtl(t, "eval", "-p", "(", "-d", "x"); code == 0 {
+		t.Error("bad pattern should fail")
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	out, _, code := runCtl(t, "check", "-p", "a*x{a*}a*")
+	if code != 0 || !strings.Contains(out, "functional: yes") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	out, _, code = runCtl(t, "check", "-p", "x{a}|y{b}")
+	if code == 0 || !strings.Contains(out, "functional: no") {
+		t.Errorf("non-functional pattern: code=%d out=%q", code, out)
+	}
+}
+
+func TestDotCommand(t *testing.T) {
+	out, _, code := runCtl(t, "dot", "-p", "x{a}")
+	if code != 0 {
+		t.Fatal("exit != 0")
+	}
+	for _, want := range []string{"digraph", "x⊢", "⊣x", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKeyCommand(t *testing.T) {
+	out, _, code := runCtl(t, "key", "-p", ".*x{a}y{b}.*", "-x", "x")
+	if code != 0 || !strings.Contains(out, "key(x) = true") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+	out, _, code = runCtl(t, "key", "-p", ".*x{a}.*y{b}.*", "-x", "y")
+	if code != 0 || !strings.Contains(out, "key(y) = false") {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, errw, code := runCtl(t, "frobnicate")
+	if code != 2 || !strings.Contains(errw, "unknown command") {
+		t.Errorf("code=%d stderr=%q", code, errw)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	_, errw, code := runCtl(t, "help")
+	if code != 0 || !strings.Contains(errw, "usage:") {
+		t.Errorf("code=%d stderr=%q", code, errw)
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	if _, _, code := runCtl(t); code != 2 {
+		t.Errorf("code=%d, want 2", code)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	out, errw, code := runCtl(t, "query",
+		"-atom", ".*x{a+}.*",
+		"-atom", ".*x{aa}.*",
+		"-project", "x",
+		"-d", "aaa")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if n := strings.Count(out, "x="); n != 2 {
+		t.Errorf("got %d results, want 2 (out %q)", n, out)
+	}
+	if !strings.Contains(errw, "plan:") || !strings.Contains(errw, "2 result(s)") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestQueryCommandWithEquality(t *testing.T) {
+	out, _, code := runCtl(t, "query",
+		"-atom", "x{..} .* y{..}|x{..} y{..}",
+		"-equal", "x,y",
+		"-strategy", "canonical",
+		"-d", "ab cd ab")
+	if code != 0 {
+		t.Fatal("exit != 0")
+	}
+	if !strings.Contains(out, `x=[1,3⟩("ab")`) {
+		t.Errorf("missing equal pair: %q", out)
+	}
+}
+
+func TestQueryCommandErrors(t *testing.T) {
+	if _, _, code := runCtl(t, "query", "-d", "x"); code == 0 {
+		t.Error("no atoms should fail")
+	}
+	if _, _, code := runCtl(t, "query", "-atom", "x{a}", "-equal", "bad", "-d", "a"); code == 0 {
+		t.Error("malformed -equal should fail")
+	}
+	if _, _, code := runCtl(t, "query", "-atom", "x{a}", "-strategy", "warp", "-d", "a"); code == 0 {
+		t.Error("unknown strategy should fail")
+	}
+}

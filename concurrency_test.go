@@ -1,0 +1,94 @@
+package spanjoin_test
+
+import (
+	"sync"
+	"testing"
+
+	"spanjoin"
+	"spanjoin/internal/workload"
+)
+
+// TestConcurrentEvaluation: a compiled Spanner is immutable and must be
+// safe for concurrent use; every goroutine gets identical results.
+func TestConcurrentEvaluation(t *testing.T) {
+	sp := spanjoin.MustCompileSearch(`mail{[a-z]+@[a-z]+\.[a-z]+}`)
+	doc := workload.Document(workload.Rand(55), workload.DocumentOptions{
+		Sentences: 20, EmailRate: 0.5,
+	})
+	ref, err := sp.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ms, err := sp.Eval(doc)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(ms) != len(ref) {
+				errs <- errMismatch{len(ms), len(ref)}
+				return
+			}
+			for i := range ms {
+				a, _ := ms[i].Span("mail")
+				b, _ := ref[i].Span("mail")
+				if a != b {
+					errs <- errMismatch{i, i}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentQueries: queries too, across strategies.
+func TestConcurrentQueries(t *testing.T) {
+	doc := workload.Logs(workload.Rand(66), 30)
+	q := spanjoin.NewQuery().
+		AtomNamed("op", `.*x{[A-Z]+} op=y{[a-z]+} .*`).
+		MustBuild()
+	ref, err := q.Count(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		strat := spanjoin.StrategyAutomata
+		if g%2 == 0 {
+			strat = spanjoin.StrategyCanonical
+		}
+		wg.Add(1)
+		go func(s spanjoin.Strategy) {
+			defer wg.Done()
+			n, err := q.Count(doc, spanjoin.WithStrategy(s))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if n != ref {
+				errs <- errMismatch{n, ref}
+			}
+		}(strat)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{ got, want int }
+
+func (e errMismatch) Error() string { return "concurrent result mismatch" }

@@ -1,0 +1,106 @@
+package spanjoin_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"spanjoin"
+)
+
+// The basic extraction loop: compile a pattern with capture variables and
+// stream its matches.
+func ExampleCompile() {
+	sp := spanjoin.MustCompile(`.* key{[a-z]+}=val{[0-9]+} .*`)
+	it, _ := sp.Iterate("set timeout=30 now")
+	for m, ok := it.Next(); ok; m, ok = it.Next() {
+		fmt.Println(m.MustSubstr("key"), "->", m.MustSubstr("val"))
+	}
+	// Output:
+	// timeout -> 30
+}
+
+// CompileSearch wraps the pattern in Σ*·α·Σ*, matching anywhere.
+func ExampleCompileSearch() {
+	sp := spanjoin.MustCompileSearch(`x{ab}`)
+	ms, _ := sp.Eval("abxab")
+	for _, m := range ms {
+		p, _ := m.Span("x")
+		fmt.Println(p)
+	}
+	// Output:
+	// [4,6⟩
+	// [1,3⟩
+}
+
+// A conjunctive query joining two extractions on a shared variable, with a
+// projection.
+func ExampleNewQuery() {
+	q := spanjoin.NewQuery().
+		AtomNamed("runs", `.*x{a+}.*`).  // x is a run of a's ...
+		AtomNamed("pairs", `.*x{aa}.*`). // ... of length exactly 2
+		Project("x").
+		MustBuild()
+	ms, _ := q.Evaluate("baab aa")
+	for _, m := range ms {
+		p, _ := m.Span("x")
+		fmt.Println(p, m.MustSubstr("x"))
+	}
+	// Output:
+	// [2,4⟩ aa
+	// [6,8⟩ aa
+}
+
+// String-equality selections compare substrings, not positions: the two
+// variables below match distinct occurrences of the same word.
+func ExampleQueryBuilder_Equal() {
+	q := spanjoin.NewQuery().
+		AtomNamed("two", `x{[a-z]+} .* y{[a-z]+}`).
+		Equal("x", "y").
+		MustBuild()
+	ms, _ := q.Evaluate("echo foo echo")
+	for _, m := range ms {
+		fmt.Println(m.MustSubstr("x"))
+	}
+	// Output:
+	// echo
+}
+
+// Joins compare spans: the composed spanner keeps only assignments where
+// both inputs place x at the same positions.
+func ExampleJoin() {
+	runs := spanjoin.MustCompileSearch("x{b+}")
+	caps := spanjoin.MustCompile("..x{..}..") // x = exact middle of a 6-char doc
+	j, _ := spanjoin.Join(runs, caps)
+	ms, _ := j.Eval("abbbba")
+	for _, m := range ms {
+		p, _ := m.Span("x")
+		fmt.Println(p, m.MustSubstr("x"))
+	}
+	// Output:
+	// [3,5⟩ bb
+}
+
+// Save and Load round-trip a compiled spanner, e.g. to cache an expensive
+// join.
+func ExampleSpanner_Save() {
+	a := spanjoin.MustCompileSearch("x{ab+}")
+	var buf bytes.Buffer
+	_ = a.Save(&buf)
+	back, _ := spanjoin.Load(&buf)
+	ms, _ := back.Eval("xabbx")
+	fmt.Println(len(ms))
+	// Output:
+	// 2
+}
+
+// MatchesAt answers membership for one concrete assignment without
+// enumerating anything else.
+func ExampleSpanner_MatchesAt() {
+	sp := spanjoin.MustCompileSearch("x{a+}")
+	ok, _ := sp.MatchesAt("baaab", map[string]spanjoin.Span{
+		"x": {Start: 2, End: 5},
+	})
+	fmt.Println(ok)
+	// Output:
+	// true
+}

@@ -1,0 +1,113 @@
+// Pipeline demonstrates composing the full spanner toolbox: prebuilt
+// pattern helpers, algebraic composition (join/union/difference), caching a
+// compiled spanner with Save/Load, the one-tuple membership test, and the
+// Auto planner's strategy choice.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"spanjoin"
+	"spanjoin/internal/workload"
+)
+
+func main() {
+	doc := workload.Document(workload.Rand(77), workload.DocumentOptions{
+		Sentences: 10, AddressRate: 0.5, PoliceRate: 0.6,
+	})
+	fmt.Println("document:", doc[:60], "...")
+	fmt.Println()
+
+	// 1. Compose spanners algebraically: sentences that contain "police"
+	//    (join through the subspan helper), minus those containing Belgium.
+	sentences := spanjoin.MustCompile(spanjoin.SentencePattern("x"))
+	police := spanjoin.MustCompile(spanjoin.TokenPattern("w", "police"))
+	containsW := spanjoin.MustCompile(spanjoin.SubspanPattern("w", "x"))
+
+	j1, err := spanjoin.Join(sentences, police)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withPolice, err := spanjoin.Join(j1, containsW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policeSentences, err := spanjoin.Project(withPolice, "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	belgium := spanjoin.MustCompile(spanjoin.TokenPattern("b", "Belgium"))
+	containsB := spanjoin.MustCompile(spanjoin.SubspanPattern("b", "x"))
+	j2, err := spanjoin.Join(sentences, belgium)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withBelgium, err := spanjoin.Join(j2, containsB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	belgiumSentences, err := spanjoin.Project(withBelgium, "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	states, trans := policeSentences.Stats()
+	fmt.Printf("composed spanner: %d states, %d transitions\n", states, trans)
+
+	// 2. Cache the composed spanner (expensive join) and reload it.
+	var buf bytes.Buffer
+	if err := policeSentences.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	reloaded, err := spanjoin.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized %d bytes, reloaded OK\n\n", size)
+
+	// 3. Difference: police sentences that do NOT mention Belgium.
+	diff, err := spanjoin.Difference(reloaded, belgiumSentences, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("police sentences without a Belgium address:")
+	count := 0
+	for {
+		m, ok := diff.Next()
+		if !ok {
+			break
+		}
+		count++
+		fmt.Println("  •", m.MustSubstr("x"))
+		// 4. Membership test: each emitted sentence must be re-checkable in
+		//    O(n²·|doc|) without enumeration.
+		sp, _ := m.Span("x")
+		ok2, err := reloaded.MatchesAt(doc, map[string]spanjoin.Span{"x": sp})
+		if err != nil || !ok2 {
+			log.Fatalf("membership check failed: %v %v", ok2, err)
+		}
+	}
+	if count == 0 {
+		fmt.Println("  (none in this document)")
+	}
+
+	// 5. The same as a query, letting the Auto planner choose.
+	q := spanjoin.NewQuery().
+		AtomNamed("sen", spanjoin.SentencePattern("x")).
+		AtomNamed("tok", spanjoin.TokenPattern("w", "police")).
+		AtomNamed("sub", spanjoin.SubspanPattern("w", "x")).
+		Project("x").
+		MustBuild()
+	fmt.Printf("\nquery plan: %v (acyclic=%v)\n", q.PlannedStrategy(), q.IsAcyclic())
+	n, err := q.Count(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("police sentences (any country): %d\n", n)
+}

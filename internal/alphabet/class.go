@@ -1,0 +1,217 @@
+// Package alphabet provides byte classes: compact 256-bit sets of byte
+// values used as transition labels in vset-automata and as literal classes
+// in regex formulas.
+//
+// The paper fixes a finite alphabet Σ; we take Σ to be the byte alphabet and
+// let every transition carry a class (a subset of Σ), as production regex
+// engines do. A class with a single member corresponds to the paper's single
+// terminal letter σ; the full class corresponds to the shorthand Σ.
+package alphabet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Size is the number of symbols in the alphabet Σ.
+const Size = 256
+
+// Class is a set of byte values, represented as a 256-bit bitmap.
+// The zero value is the empty class (matches nothing, i.e. ∅).
+type Class [4]uint64
+
+// Empty returns the empty class ∅.
+func Empty() Class { return Class{} }
+
+// Any returns the class containing every byte (the paper's Σ).
+func Any() Class {
+	return Class{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+
+// Single returns the class containing exactly b.
+func Single(b byte) Class {
+	var c Class
+	c.Add(b)
+	return c
+}
+
+// Range returns the class containing every byte in [lo, hi]. If lo > hi the
+// result is empty.
+func Range(lo, hi byte) Class {
+	var c Class
+	for b := int(lo); b <= int(hi); b++ {
+		c.Add(byte(b))
+	}
+	return c
+}
+
+// FromString returns the class containing exactly the bytes of s.
+func FromString(s string) Class {
+	var c Class
+	for i := 0; i < len(s); i++ {
+		c.Add(s[i])
+	}
+	return c
+}
+
+// Add inserts b into the class.
+func (c *Class) Add(b byte) { c[b>>6] |= 1 << (b & 63) }
+
+// Remove deletes b from the class.
+func (c *Class) Remove(b byte) { c[b>>6] &^= 1 << (b & 63) }
+
+// Contains reports whether b is in the class.
+func (c Class) Contains(b byte) bool { return c[b>>6]&(1<<(b&63)) != 0 }
+
+// IsEmpty reports whether the class contains no bytes.
+func (c Class) IsEmpty() bool { return c == Class{} }
+
+// Len returns the number of bytes in the class.
+func (c Class) Len() int {
+	n := 0
+	for _, w := range c {
+		n += popcount(w)
+	}
+	return n
+}
+
+// Union returns c ∪ o.
+func (c Class) Union(o Class) Class {
+	return Class{c[0] | o[0], c[1] | o[1], c[2] | o[2], c[3] | o[3]}
+}
+
+// Intersect returns c ∩ o.
+func (c Class) Intersect(o Class) Class {
+	return Class{c[0] & o[0], c[1] & o[1], c[2] & o[2], c[3] & o[3]}
+}
+
+// Negate returns Σ \ c.
+func (c Class) Negate() Class {
+	return Class{^c[0], ^c[1], ^c[2], ^c[3]}
+}
+
+// Minus returns c \ o.
+func (c Class) Minus(o Class) Class {
+	return Class{c[0] &^ o[0], c[1] &^ o[1], c[2] &^ o[2], c[3] &^ o[3]}
+}
+
+// Equal reports whether two classes contain the same bytes.
+func (c Class) Equal(o Class) bool { return c == o }
+
+// Min returns the smallest byte in the class; ok is false if empty.
+func (c Class) Min() (b byte, ok bool) {
+	for i := 0; i < 256; i++ {
+		if c.Contains(byte(i)) {
+			return byte(i), true
+		}
+	}
+	return 0, false
+}
+
+// Bytes returns all members in increasing order.
+func (c Class) Bytes() []byte {
+	out := make([]byte, 0, c.Len())
+	for i := 0; i < 256; i++ {
+		if c.Contains(byte(i)) {
+			out = append(out, byte(i))
+		}
+	}
+	return out
+}
+
+// String renders the class in a regex-like form, e.g. `a`, `[a-c]`, `.` for
+// the full class, or `[]` for the empty class. Intended for debugging and
+// dot output.
+func (c Class) String() string {
+	if c.IsEmpty() {
+		return "[]"
+	}
+	if c == Any() {
+		return "."
+	}
+	n := c.Len()
+	if n == 1 {
+		b, _ := c.Min()
+		return escapeByte(b)
+	}
+	// Render as ranges.
+	var sb strings.Builder
+	if n > 128 {
+		// More readable as a negated class.
+		sb.WriteString("[^")
+		writeRanges(&sb, c.Negate())
+	} else {
+		sb.WriteString("[")
+		writeRanges(&sb, c)
+	}
+	sb.WriteString("]")
+	return sb.String()
+}
+
+func writeRanges(sb *strings.Builder, c Class) {
+	i := 0
+	for i < 256 {
+		if !c.Contains(byte(i)) {
+			i++
+			continue
+		}
+		j := i
+		for j+1 < 256 && c.Contains(byte(j+1)) {
+			j++
+		}
+		switch {
+		case i == j:
+			sb.WriteString(escapeByte(byte(i)))
+		case j == i+1:
+			sb.WriteString(escapeByte(byte(i)))
+			sb.WriteString(escapeByte(byte(j)))
+		default:
+			sb.WriteString(escapeByte(byte(i)))
+			sb.WriteByte('-')
+			sb.WriteString(escapeByte(byte(j)))
+		}
+		i = j + 1
+	}
+}
+
+func escapeByte(b byte) string {
+	switch b {
+	case '\n':
+		return `\n`
+	case '\t':
+		return `\t`
+	case '\r':
+		return `\r`
+	case '\\', '[', ']', '-', '^', '.', '{', '}', '(', ')', '|', '*', '+', '?':
+		return `\` + string(b)
+	}
+	if b >= 0x20 && b < 0x7f {
+		return string(b)
+	}
+	return fmt.Sprintf(`\x%02x`, b)
+}
+
+func popcount(w uint64) int {
+	n := 0
+	for w != 0 {
+		w &= w - 1
+		n++
+	}
+	return n
+}
+
+// Common predefined classes, mirroring the usual regex escapes.
+var (
+	digit = Range('0', '9')
+	word  = Range('a', 'z').Union(Range('A', 'Z')).Union(Range('0', '9')).Union(Single('_'))
+	space = FromString(" \t\n\r\f\v")
+)
+
+// Digit returns the \d class [0-9].
+func Digit() Class { return digit }
+
+// Word returns the \w class [A-Za-z0-9_].
+func Word() Class { return word }
+
+// Space returns the \s class of ASCII whitespace.
+func Space() Class { return space }

@@ -1,0 +1,24 @@
+package alphabet
+
+import "testing"
+
+func BenchmarkContains(b *testing.B) {
+	c := Word()
+	for i := 0; i < b.N; i++ {
+		_ = c.Contains(byte(i))
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x, y := Word(), Range('a', 'm')
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkString(b *testing.B) {
+	c := Word()
+	for i := 0; i < b.N; i++ {
+		_ = c.String()
+	}
+}

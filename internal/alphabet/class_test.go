@@ -1,0 +1,199 @@
+package alphabet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAndAny(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() || e.Len() != 0 {
+		t.Errorf("Empty() not empty: len=%d", e.Len())
+	}
+	a := Any()
+	if a.IsEmpty() || a.Len() != 256 {
+		t.Errorf("Any() wrong: len=%d", a.Len())
+	}
+	for i := 0; i < 256; i++ {
+		if e.Contains(byte(i)) {
+			t.Errorf("Empty contains %d", i)
+		}
+		if !a.Contains(byte(i)) {
+			t.Errorf("Any missing %d", i)
+		}
+	}
+}
+
+func TestSingle(t *testing.T) {
+	for _, b := range []byte{0, 1, 'a', 'z', 63, 64, 127, 128, 191, 192, 255} {
+		c := Single(b)
+		if c.Len() != 1 {
+			t.Errorf("Single(%d).Len() = %d", b, c.Len())
+		}
+		if !c.Contains(b) {
+			t.Errorf("Single(%d) missing %d", b, b)
+		}
+		if m, ok := c.Min(); !ok || m != b {
+			t.Errorf("Single(%d).Min() = %d,%v", b, m, ok)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := Range('a', 'f')
+	if c.Len() != 6 {
+		t.Errorf("Range(a,f).Len() = %d", c.Len())
+	}
+	for b := byte('a'); b <= 'f'; b++ {
+		if !c.Contains(b) {
+			t.Errorf("missing %c", b)
+		}
+	}
+	if c.Contains('g') || c.Contains('`') {
+		t.Error("range leaks outside bounds")
+	}
+	if !Range('z', 'a').IsEmpty() {
+		t.Error("inverted range should be empty")
+	}
+	full := Range(0, 255)
+	if full != Any() {
+		t.Error("Range(0,255) != Any()")
+	}
+}
+
+func TestFromStringAndBytes(t *testing.T) {
+	c := FromString("hello")
+	want := []byte{'e', 'h', 'l', 'o'}
+	got := c.Bytes()
+	if len(got) != len(want) {
+		t.Fatalf("Bytes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bytes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	var c Class
+	c.Add('x')
+	if !c.Contains('x') {
+		t.Fatal("Add failed")
+	}
+	c.Remove('x')
+	if c.Contains('x') || !c.IsEmpty() {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromString("abc")
+	b := FromString("bcd")
+	if got := a.Union(b); got.Len() != 4 || !got.Contains('a') || !got.Contains('d') {
+		t.Errorf("union wrong: %v", got)
+	}
+	if got := a.Intersect(b); got.Len() != 2 || got.Contains('a') || got.Contains('d') {
+		t.Errorf("intersect wrong: %v", got)
+	}
+	if got := a.Minus(b); got.Len() != 1 || !got.Contains('a') {
+		t.Errorf("minus wrong: %v", got)
+	}
+	if got := a.Negate(); got.Len() != 253 || got.Contains('b') || !got.Contains('z') {
+		t.Errorf("negate wrong: len=%d", got.Len())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		c    Class
+		want string
+	}{
+		{Empty(), "[]"},
+		{Any(), "."},
+		{Single('a'), "a"},
+		{Single('\n'), `\n`},
+		{Single('.'), `\.`},
+		{Range('a', 'c'), "[a-c]"},
+		{FromString("ab"), "[ab]"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.c.Bytes(), got, tc.want)
+		}
+	}
+}
+
+func TestPredefinedClasses(t *testing.T) {
+	if Digit().Len() != 10 || !Digit().Contains('5') || Digit().Contains('a') {
+		t.Error("Digit wrong")
+	}
+	if Word().Len() != 63 || !Word().Contains('_') || Word().Contains('-') {
+		t.Errorf("Word wrong: len=%d", Word().Len())
+	}
+	if !Space().Contains(' ') || !Space().Contains('\t') || Space().Contains('x') {
+		t.Error("Space wrong")
+	}
+}
+
+func randClass(r *rand.Rand) Class {
+	var c Class
+	n := r.Intn(40)
+	for i := 0; i < n; i++ {
+		c.Add(byte(r.Intn(256)))
+	}
+	return c
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randClass(r), randClass(r)
+		if a.Union(b).Negate() != a.Negate().Intersect(b.Negate()) {
+			t.Fatalf("De Morgan failed for %v, %v", a, b)
+		}
+		if a.Intersect(b).Negate() != a.Negate().Union(b.Negate()) {
+			t.Fatalf("De Morgan 2 failed for %v, %v", a, b)
+		}
+		if !a.Minus(b).Equal(a.Intersect(b.Negate())) {
+			t.Fatalf("Minus failed for %v, %v", a, b)
+		}
+	}
+}
+
+func TestQuickMembershipAgreesWithBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		c := randClass(r)
+		bs := c.Bytes()
+		if len(bs) != c.Len() {
+			t.Fatalf("Len %d != |Bytes| %d", c.Len(), len(bs))
+		}
+		seen := map[byte]bool{}
+		for _, b := range bs {
+			seen[b] = true
+		}
+		for j := 0; j < 256; j++ {
+			if c.Contains(byte(j)) != seen[byte(j)] {
+				t.Fatalf("membership mismatch at %d", j)
+			}
+		}
+	}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(xs, ys []byte) bool {
+		var a, b Class
+		for _, x := range xs {
+			a.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+		}
+		return a.Union(b) == b.Union(a) && a.Intersect(b) == b.Intersect(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package enum_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/workload"
+)
+
+// TestAGAgainstGenericCrossSection: the specialized layered enumeration
+// must produce exactly the same tuples, in the same order, as running the
+// generic Ackerman–Shallit cross-section enumerator on A_G exported as a
+// plain NFA — the reduction that proves Theorem 3.3.
+func TestAGAgainstGenericCrossSection(t *testing.T) {
+	patterns := []string{
+		"a*x{a*}a*",
+		".*x{a+}.*y{b+}.*",
+		"x{.*}y{.*}",
+		"(a|b)*x{(a|b)+}(a|b)*",
+	}
+	r := rand.New(rand.NewSource(555))
+	for _, p := range patterns {
+		a := rgx.MustCompilePattern(p)
+		for trial := 0; trial < 5; trial++ {
+			n := r.Intn(6)
+			s := workload.RandomString(r, n, 2)
+
+			// Specialized path.
+			e1, err := enum.Prepare(a, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := e1.All()
+
+			// Generic path: enumerate length-(N+1) words of A_G, decode.
+			e2, err := enum.Prepare(a, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e2.Empty() {
+				if len(spec) != 0 {
+					t.Fatalf("[[%s]](%q): empty A_G but %d tuples", p, s, len(spec))
+				}
+				continue
+			}
+			m := e2.AsNFA()
+			cs, err := m.EnumerateLength(n + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gen []span.Tuple
+			for {
+				w, ok := cs.Next()
+				if !ok {
+					break
+				}
+				gen = append(gen, e2.DecodeLetters(w))
+			}
+			if len(gen) != len(spec) {
+				t.Fatalf("[[%s]](%q): specialized %d tuples, generic %d", p, s, len(spec), len(gen))
+			}
+			for i := range gen {
+				if gen[i].Compare(spec[i]) != 0 {
+					t.Fatalf("[[%s]](%q): order differs at %d: %v vs %v", p, s, i, gen[i], spec[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAGCrossSectionOnRandomAutomata widens the cross-validation to random
+// functional vset-automata.
+func TestAGCrossSectionOnRandomAutomata(t *testing.T) {
+	r := rand.New(rand.NewSource(556))
+	vars := span.NewVarList("x")
+	for i := 0; i < 60; i++ {
+		a := oracle.RandomFunctionalVSA(r, vars, 4, 10)
+		for _, s := range []string{"", "a", "ab"} {
+			e1, err := enum.Prepare(a, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := e1.All()
+			e2, _ := enum.Prepare(a, s)
+			if e2.Empty() {
+				if len(spec) != 0 {
+					t.Fatal("inconsistent emptiness")
+				}
+				continue
+			}
+			cs, err := e2.AsNFA().EnumerateLength(len(s) + 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			count := 0
+			for {
+				w, ok := cs.Next()
+				if !ok {
+					break
+				}
+				if count >= len(spec) {
+					t.Fatalf("trial %d on %q: generic produced extra word", i, s)
+				}
+				if e2.DecodeLetters(w).Compare(spec[count]) != 0 {
+					t.Fatalf("trial %d on %q: mismatch at %d", i, s, count)
+				}
+				count++
+			}
+			if count != len(spec) {
+				t.Fatalf("trial %d on %q: generic %d, specialized %d", i, s, count, len(spec))
+			}
+		}
+	}
+}

@@ -1,0 +1,537 @@
+// Package enum implements the paper's central algorithm (Theorem 3.3):
+// enumerating [[A]](s) for a functional vset-automaton A and a string s with
+// polynomial delay O(n²·|s|) after O(n²·|s| + m·n) preprocessing.
+//
+// The algorithm identifies each (V,s)-tuple with its sequence of |s|+1
+// variable configurations κ₀…κ_N (§4.1): κ_i is the configuration of the
+// run's state immediately before reading σ_{i+1}. It builds a layered graph
+// G whose nodes (i,q) mean "A can be in state q after processing σ₁…σ_i and
+// any following variable operations", interprets G as an NFA A_G over the
+// configuration alphabet K, and enumerates L(A_G) ∩ K^{N+1} in radix order
+// without repetition, in the style of Ackerman–Shallit. Distinct tuples
+// correspond to distinct strings over K, so deduplication is inherent.
+package enum
+
+import (
+	"sort"
+
+	"spanjoin/internal/nfa"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// GraphNode is one node (i, q) of the layered graph G, tagged with the
+// letter (configuration id) that every incoming A_G-transition carries.
+type GraphNode struct {
+	// State is the automaton state q.
+	State int32
+	// Letter is the interned id of q's variable configuration; ids are
+	// assigned in the radix order w < o < c, so letters compare as ints.
+	Letter int32
+	// Targets lists successor nodes (indices into the next level), grouped
+	// by letter: TargetLetters is sorted ascending and TargetsByLetter[k]
+	// are the successors whose letter is TargetLetters[k].
+	TargetLetters   []int32
+	TargetsByLetter [][]int32
+}
+
+// Enumerator enumerates [[A]](s) with polynomial delay. Create it with
+// Prepare, then call Next until ok is false. Results are emitted in radix
+// order of their configuration strings — a deterministic total order.
+type Enumerator struct {
+	vars    span.VarList
+	n       int // |s|
+	empty   bool
+	configs []vsa.Config // letter id → configuration
+	levels  [][]GraphNode
+	// start nodes (level 0) grouped by letter, like GraphNode targets
+	startLetters  []int32
+	startByLetter [][]int32
+
+	// enumeration state
+	started bool
+	done    bool
+	letters []int32   // current word κ_0..κ_N
+	sets    [][]int32 // sets[i] = node indices at level i consistent with κ_0..κ_i
+}
+
+// Prepare trims A, verifies functionality, and builds the layered graph for
+// s. It returns vsa.ErrNotFunctional (wrapped) for non-functional automata.
+func Prepare(a *vsa.VSA, s string) (*Enumerator, error) {
+	t, ct, err := a.RequireFunctional()
+	if err != nil {
+		return nil, err
+	}
+	e := &Enumerator{vars: t.Vars, n: len(s)}
+	if t.NumStates() == 2 && t.NumTransitions() == 0 && t.Init != t.Final {
+		e.empty = true
+		return e, nil
+	}
+	cl := t.NewClosures()
+	n := t.NumStates()
+	N := len(s)
+
+	// Forward pass: levelStates[i] = possible boundary states q̂_i.
+	levelStates := make([][]int32, N+1)
+	cur := make([]bool, n)
+	for _, q := range cl.VE[t.Init] {
+		cur[q] = true
+	}
+	levelStates[0] = boolsToList(cur)
+	// rawEdges[i][q] = successor states of boundary state q at level i.
+	rawEdges := make([][][]int32, N)
+	for i := 0; i < N; i++ {
+		next := make([]bool, n)
+		rawEdges[i] = make([][]int32, n)
+		for _, p := range levelStates[i] {
+			var succ []bool
+			for _, tr := range t.Adj[p] {
+				if tr.Kind != vsa.KChar || !tr.Class.Contains(s[i]) {
+					continue
+				}
+				if succ == nil {
+					succ = make([]bool, n)
+				}
+				for _, q := range cl.VE[tr.To] {
+					succ[q] = true
+				}
+			}
+			if succ == nil {
+				continue
+			}
+			lst := boolsToList(succ)
+			rawEdges[i][p] = lst
+			for _, q := range lst {
+				next[q] = true
+			}
+		}
+		levelStates[i+1] = boolsToList(next)
+	}
+	// The last boundary state must be the final state exactly (q̂_N = qf).
+	finalOK := false
+	for _, q := range levelStates[N] {
+		if q == t.Final {
+			finalOK = true
+		}
+	}
+	if !finalOK {
+		e.empty = true
+		return e, nil
+	}
+	levelStates[N] = []int32{t.Final}
+
+	// Backward prune: keep nodes from which (N, qf) is reachable.
+	alive := make([][]bool, N+1)
+	alive[N] = make([]bool, n)
+	alive[N][t.Final] = true
+	for i := N - 1; i >= 0; i-- {
+		alive[i] = make([]bool, n)
+		for _, p := range levelStates[i] {
+			for _, q := range rawEdges[i][p] {
+				if alive[i+1][q] {
+					alive[i][p] = true
+					break
+				}
+			}
+		}
+	}
+
+	// Intern configurations as letters in radix order.
+	letterOf := internLetters(t, ct, e)
+
+	// Build levels with per-node grouped targets.
+	e.levels = make([][]GraphNode, N+1)
+	idxAt := make([][]int32, N+1) // state → node index at level, -1 otherwise
+	for i := 0; i <= N; i++ {
+		idxAt[i] = make([]int32, n)
+		for k := range idxAt[i] {
+			idxAt[i][k] = -1
+		}
+		for _, q := range levelStates[i] {
+			if !alive[i][q] {
+				continue
+			}
+			idxAt[i][q] = int32(len(e.levels[i]))
+			e.levels[i] = append(e.levels[i], GraphNode{State: q, Letter: letterOf[q]})
+		}
+	}
+	if len(e.levels[0]) == 0 {
+		e.empty = true
+		return e, nil
+	}
+	for i := 0; i < N; i++ {
+		for k := range e.levels[i] {
+			node := &e.levels[i][k]
+			var pairs []letterTarget
+			for _, q := range rawEdges[i][node.State] {
+				if j := idxAt[i+1][q]; j >= 0 {
+					pairs = append(pairs, letterTarget{letterOf[q], j})
+				}
+			}
+			node.TargetLetters, node.TargetsByLetter = groupByLetter(pairs)
+		}
+	}
+	// Start transitions: the virtual initial state of A_G fans out to every
+	// level-0 node, labelled with the node's letter.
+	var startPairs []letterTarget
+	for k := range e.levels[0] {
+		startPairs = append(startPairs, letterTarget{e.levels[0][k].Letter, int32(k)})
+	}
+	e.startLetters, e.startByLetter = groupByLetter(startPairs)
+
+	e.letters = make([]int32, N+1)
+	e.sets = make([][]int32, N+1)
+	return e, nil
+}
+
+type letterTarget struct {
+	letter int32
+	target int32
+}
+
+func groupByLetter(pairs []letterTarget) ([]int32, [][]int32) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].letter != pairs[j].letter {
+			return pairs[i].letter < pairs[j].letter
+		}
+		return pairs[i].target < pairs[j].target
+	})
+	var letters []int32
+	var byLetter [][]int32
+	for _, p := range pairs {
+		k := len(letters)
+		if k == 0 || letters[k-1] != p.letter {
+			letters = append(letters, p.letter)
+			byLetter = append(byLetter, nil)
+			k++
+		}
+		lst := byLetter[k-1]
+		if len(lst) == 0 || lst[len(lst)-1] != p.target {
+			byLetter[k-1] = append(lst, p.target)
+		}
+	}
+	return letters, byLetter
+}
+
+func internLetters(t *vsa.VSA, ct *vsa.ConfigTable, e *Enumerator) []int32 {
+	n := t.NumStates()
+	type entry struct {
+		key   string
+		cfg   vsa.Config
+		state int32
+	}
+	seen := map[string]bool{}
+	var entries []entry
+	for q := 0; q < n; q++ {
+		cfg := ct.Cfg[q]
+		if cfg == nil {
+			cfg = make(vsa.Config, len(t.Vars))
+		}
+		k := cfg.Key()
+		if !seen[k] {
+			seen[k] = true
+			entries = append(entries, entry{key: k, cfg: cfg})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	id := make(map[string]int32, len(entries))
+	e.configs = make([]vsa.Config, len(entries))
+	for i, en := range entries {
+		id[en.key] = int32(i)
+		e.configs[i] = en.cfg
+	}
+	letterOf := make([]int32, n)
+	for q := 0; q < n; q++ {
+		cfg := ct.Cfg[q]
+		if cfg == nil {
+			cfg = make(vsa.Config, len(t.Vars))
+		}
+		letterOf[q] = id[cfg.Key()]
+	}
+	return letterOf
+}
+
+func boolsToList(b []bool) []int32 {
+	var out []int32
+	for i, ok := range b {
+		if ok {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Vars returns the variable list of the underlying spanner; tuples returned
+// by Next are aligned with it.
+func (e *Enumerator) Vars() span.VarList { return e.vars }
+
+// Empty reports whether [[A]](s) = ∅, known after preprocessing.
+func (e *Enumerator) Empty() bool { return e.empty }
+
+// Next returns the next tuple in radix order. ok is false when the
+// enumeration is exhausted.
+func (e *Enumerator) Next() (t span.Tuple, ok bool) {
+	if e.empty || e.done {
+		return nil, false
+	}
+	if !e.started {
+		e.started = true
+		if !e.minString(0) {
+			e.done = true
+			return nil, false
+		}
+		return e.decode(), true
+	}
+	if !e.nextString() {
+		e.done = true
+		return nil, false
+	}
+	return e.decode(), true
+}
+
+// transitionsFrom returns the grouped letters/targets available from set
+// S_{l-1} (or the virtual start when l == 0) into level l.
+func (e *Enumerator) lettersInto(l int) func(yield func(letters []int32, byLetter [][]int32)) {
+	return func(yield func([]int32, [][]int32)) {
+		if l == 0 {
+			yield(e.startLetters, e.startByLetter)
+			return
+		}
+		for _, u := range e.sets[l-1] {
+			node := &e.levels[l-1][u]
+			yield(node.TargetLetters, node.TargetsByLetter)
+		}
+	}
+}
+
+// minLetterInto returns the minimal letter ≥ 0 available into level l given
+// S_{l-1}; ok is false if none.
+func (e *Enumerator) minLetterInto(l int) (int32, bool) {
+	best := int32(-1)
+	e.lettersInto(l)(func(letters []int32, _ [][]int32) {
+		if len(letters) > 0 && (best < 0 || letters[0] < best) {
+			best = letters[0]
+		}
+	})
+	return best, best >= 0
+}
+
+// nextLetterInto returns the minimal available letter strictly greater than
+// after; ok is false if none.
+func (e *Enumerator) nextLetterInto(l int, after int32) (int32, bool) {
+	best := int32(-1)
+	e.lettersInto(l)(func(letters []int32, _ [][]int32) {
+		// binary search for the first letter > after
+		k := sort.Search(len(letters), func(i int) bool { return letters[i] > after })
+		if k < len(letters) && (best < 0 || letters[k] < best) {
+			best = letters[k]
+		}
+	})
+	return best, best >= 0
+}
+
+// setLevel fixes κ_l := letter and recomputes S_l from S_{l-1}.
+func (e *Enumerator) setLevel(l int, letter int32) {
+	e.letters[l] = letter
+	var merged []int32
+	e.lettersInto(l)(func(letters []int32, byLetter [][]int32) {
+		k := sort.Search(len(letters), func(i int) bool { return letters[i] >= letter })
+		if k < len(letters) && letters[k] == letter {
+			merged = mergeSorted(merged, byLetter[k])
+		}
+	})
+	e.sets[l] = merged
+}
+
+func mergeSorted(a, b []int32) []int32 {
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// minString completes the word with the radix-minimal suffix from level l on.
+// Every graph node reaches (N, qf) (backward pruning), so it always succeeds
+// when S_{l-1} is non-empty.
+func (e *Enumerator) minString(l int) bool {
+	for i := l; i <= e.n; i++ {
+		letter, ok := e.minLetterInto(i)
+		if !ok {
+			return false
+		}
+		e.setLevel(i, letter)
+	}
+	return true
+}
+
+// nextString advances to the radix-next word: it finds the rightmost
+// position whose letter can be increased, increases it minimally, and
+// completes with minString.
+func (e *Enumerator) nextString() bool {
+	for i := e.n; i >= 0; i-- {
+		letter, ok := e.nextLetterInto(i, e.letters[i])
+		if !ok {
+			continue
+		}
+		e.setLevel(i, letter)
+		if e.minString(i + 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// decode converts the current configuration word κ_0..κ_N into a tuple:
+// µ(x) = [i+1, j+1⟩ with i minimal such that κ_i(x) ≠ w and j minimal such
+// that κ_j(x) = c.
+func (e *Enumerator) decode() span.Tuple {
+	t := make(span.Tuple, len(e.vars))
+	for vi := range e.vars {
+		start, end := -1, -1
+		for i := 0; i <= e.n; i++ {
+			st := e.configs[e.letters[i]][vi]
+			if start < 0 && st != vsa.W {
+				start = i + 1
+			}
+			if end < 0 && st == vsa.C {
+				end = i + 1
+				break
+			}
+		}
+		t[vi] = span.Span{Start: start, End: end}
+	}
+	return t
+}
+
+// All drains the enumerator and returns every tuple.
+func (e *Enumerator) All() []span.Tuple {
+	var out []span.Tuple
+	for {
+		t, ok := e.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Count drains the enumerator and returns the number of tuples. Like All,
+// it costs time proportional to the output.
+func (e *Enumerator) Count() int {
+	n := 0
+	for {
+		if _, ok := e.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Levels exposes the layered graph (for tests reproducing Figure 1 and the
+// worked examples, and for spanbench's F1 output).
+func (e *Enumerator) Levels() [][]GraphNode { return e.levels }
+
+// LetterConfig returns the configuration a letter id denotes.
+func (e *Enumerator) LetterConfig(letter int32) vsa.Config { return e.configs[letter] }
+
+// GraphSize returns the node and edge counts of G (preprocessing cost
+// witnesses for the benchmarks).
+func (e *Enumerator) GraphSize() (nodes, edges int) {
+	for _, lvl := range e.levels {
+		nodes += len(lvl)
+		for _, nd := range lvl {
+			for _, ts := range nd.TargetsByLetter {
+				edges += len(ts)
+			}
+		}
+	}
+	return nodes, edges
+}
+
+// Eval prepares and drains an enumerator in one call, returning the
+// variable list and all tuples of [[A]](s).
+func Eval(a *vsa.VSA, s string) (span.VarList, []span.Tuple, error) {
+	e, err := Prepare(a, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.Vars(), e.All(), nil
+}
+
+// AsNFA exports the layered automaton A_G as a generic NFA over the letter
+// alphabet (symbol ids = letter ids), for cross-validation against the
+// generic Ackerman–Shallit cross-section enumerator in package nfa.
+// State 0 is the virtual start; node (i, k) becomes state 1 + offset(i) + k.
+func (e *Enumerator) AsNFA() *nfa.NFA {
+	offsets := make([]int, len(e.levels)+1)
+	total := 1
+	for i, lvl := range e.levels {
+		offsets[i] = total
+		total += len(lvl)
+	}
+	offsets[len(e.levels)] = total
+	m := nfa.New(total, len(e.configs))
+	m.Start = []int32{0}
+	if e.empty || len(e.levels) == 0 {
+		return m
+	}
+	for k := range e.startLetters {
+		for _, tgt := range e.startByLetter[k] {
+			m.Add(0, e.startLetters[k], int32(offsets[0])+tgt)
+		}
+	}
+	for i, lvl := range e.levels {
+		for k := range lvl {
+			nd := &lvl[k]
+			for li := range nd.TargetLetters {
+				for _, tgt := range nd.TargetsByLetter[li] {
+					m.Add(int32(offsets[i]+k), nd.TargetLetters[li], int32(offsets[i+1])+tgt)
+				}
+			}
+		}
+	}
+	last := len(e.levels) - 1
+	for k := range e.levels[last] {
+		m.Final = append(m.Final, int32(offsets[last]+k))
+	}
+	return m
+}
+
+// DecodeLetters converts a configuration word (letter ids κ_0..κ_N) into
+// the corresponding tuple, as decode does for the enumerator's own state.
+func (e *Enumerator) DecodeLetters(letters []int32) span.Tuple {
+	t := make(span.Tuple, len(e.vars))
+	for vi := range e.vars {
+		start, end := -1, -1
+		for i := 0; i < len(letters); i++ {
+			st := e.configs[letters[i]][vi]
+			if start < 0 && st != vsa.W {
+				start = i + 1
+			}
+			if end < 0 && st == vsa.C {
+				end = i + 1
+				break
+			}
+		}
+		t[vi] = span.Span{Start: start, End: end}
+	}
+	return t
+}

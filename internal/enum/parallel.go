@@ -1,0 +1,214 @@
+package enum
+
+import (
+	"runtime"
+	"sync"
+
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// EvalParallel enumerates [[A]](s) using several goroutines, addressing the
+// parallelization direction the paper's conclusion raises (§6, citing Yang
+// et al.). The radix tree of configuration words is partitioned at a fixed
+// prefix depth: every worker enumerates the completions of its assigned
+// prefixes independently (the layered graph is immutable after
+// preprocessing), and the per-prefix outputs are concatenated in prefix
+// order, so the overall result is exactly the sequential radix order.
+//
+// workers ≤ 0 selects GOMAXPROCS. Falls back to sequential enumeration for
+// tiny inputs.
+func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple, error) {
+	e, err := Prepare(a, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if e.empty {
+		return e.vars, nil, nil
+	}
+	if workers == 1 || e.n == 0 {
+		return e.vars, e.All(), nil
+	}
+
+	prefixes := e.splitPrefixes(16 * workers)
+	results := make([][]span.Tuple, len(prefixes))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = e.enumeratePrefix(prefixes[idx])
+			}
+		}()
+	}
+	for i := range prefixes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out []span.Tuple
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return e.vars, out, nil
+}
+
+// prefix is a fixed choice of the first depth letters with the resulting
+// node set at level depth-1 and an estimated workload (path count).
+type prefix struct {
+	letters []int32
+	set     []int32
+	weight  float64
+}
+
+// splitPrefixes partitions the radix tree adaptively: it repeatedly expands
+// the heaviest prefix (by the number of graph paths under it — an upper
+// bound on its tuple count) one level deeper, until at least target
+// prefixes exist or nothing can be expanded further. Expanding in place
+// keeps the list in radix order, so concatenating per-prefix outputs
+// reproduces the sequential order. Without the weighting, the prefix whose
+// variables are all still waiting dominates (spans can start anywhere in
+// the document) and parallelism buys nothing.
+func (e *Enumerator) splitPrefixes(target int) []prefix {
+	paths := e.pathCounts()
+	weigh := func(level int, set []int32) float64 {
+		w := 0.0
+		for _, u := range set {
+			w += paths[level][u]
+		}
+		return w
+	}
+	var cur []prefix
+	for k, l := range e.startLetters {
+		set := e.startByLetter[k]
+		cur = append(cur, prefix{letters: []int32{l}, set: set, weight: weigh(0, set)})
+	}
+	for len(cur) < target {
+		// Pick the heaviest expandable prefix.
+		best := -1
+		for i, p := range cur {
+			if len(p.letters) > e.n {
+				continue // fully fixed
+			}
+			if best < 0 || p.weight > cur[best].weight {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		p := cur[best]
+		depth := len(p.letters)
+		letters, byLetter := groupSuccessors(e, p.set, depth)
+		children := make([]prefix, 0, len(letters))
+		for k, l := range letters {
+			nl := append(append([]int32(nil), p.letters...), l)
+			children = append(children, prefix{
+				letters: nl,
+				set:     byLetter[k],
+				weight:  weigh(depth, byLetter[k]),
+			})
+		}
+		if len(children) == 0 {
+			// Dead prefix (cannot happen after backward pruning, but keep
+			// the loop safe): drop it.
+			cur = append(cur[:best], cur[best+1:]...)
+			continue
+		}
+		// Replace the parent by its children in place (radix order kept).
+		next := make([]prefix, 0, len(cur)+len(children)-1)
+		next = append(next, cur[:best]...)
+		next = append(next, children...)
+		next = append(next, cur[best+1:]...)
+		cur = next
+	}
+	return cur
+}
+
+// pathCounts computes, for every node, the number of graph paths to the
+// final level (saturating float to avoid overflow on huge counts).
+func (e *Enumerator) pathCounts() [][]float64 {
+	out := make([][]float64, len(e.levels))
+	last := len(e.levels) - 1
+	out[last] = make([]float64, len(e.levels[last]))
+	for k := range out[last] {
+		out[last][k] = 1
+	}
+	for i := last - 1; i >= 0; i-- {
+		out[i] = make([]float64, len(e.levels[i]))
+		for k, nd := range e.levels[i] {
+			for li := range nd.TargetLetters {
+				for _, tgt := range nd.TargetsByLetter[li] {
+					out[i][k] += out[i+1][tgt]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// groupSuccessors merges the grouped targets of every node in set at the
+// given level, keeping letters ascending.
+func groupSuccessors(e *Enumerator, set []int32, level int) ([]int32, [][]int32) {
+	var pairs []letterTarget
+	for _, u := range set {
+		node := &e.levels[level-1][u]
+		for k, l := range node.TargetLetters {
+			for _, tgt := range node.TargetsByLetter[k] {
+				pairs = append(pairs, letterTarget{l, tgt})
+			}
+		}
+	}
+	return groupByLetter(pairs)
+}
+
+// enumeratePrefix enumerates all completions of the prefix in radix order
+// on a private cursor sharing the immutable graph.
+func (e *Enumerator) enumeratePrefix(p prefix) []span.Tuple {
+	c := &Enumerator{
+		vars:          e.vars,
+		n:             e.n,
+		configs:       e.configs,
+		levels:        e.levels,
+		startLetters:  e.startLetters,
+		startByLetter: e.startByLetter,
+		letters:       make([]int32, e.n+1),
+		sets:          make([][]int32, e.n+1),
+	}
+	depth := len(p.letters)
+	copy(c.letters, p.letters)
+	c.sets[depth-1] = p.set
+	// Fill earlier set slots for completeness (only sets[depth-1] is read
+	// by minString/nextString below the floor).
+	var out []span.Tuple
+	if !c.minString(depth) {
+		return nil
+	}
+	out = append(out, c.decode())
+	for c.nextStringFloor(depth) {
+		out = append(out, c.decode())
+	}
+	return out
+}
+
+// nextStringFloor is nextString restricted to positions ≥ floor, keeping
+// the prefix below floor frozen.
+func (e *Enumerator) nextStringFloor(floor int) bool {
+	for i := e.n; i >= floor; i-- {
+		letter, ok := e.nextLetterInto(i, e.letters[i])
+		if !ok {
+			continue
+		}
+		e.setLevel(i, letter)
+		if e.minString(i + 1) {
+			return true
+		}
+	}
+	return false
+}

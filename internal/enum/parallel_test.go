@@ -1,0 +1,109 @@
+package enum_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/enum"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+	"spanjoin/internal/workload"
+)
+
+// TestEvalParallelMatchesSequential: identical tuples in the identical
+// (radix) order, for various worker counts.
+func TestEvalParallelMatchesSequential(t *testing.T) {
+	patterns := []string{
+		"a*x{a*}a*",
+		".*x{a+}.*y{b+}.*",
+		"x{.*}y{.*}",
+		"(a|b)*x{(a|b)+}(a|b)*",
+	}
+	r := rand.New(rand.NewSource(808))
+	for _, p := range patterns {
+		a := rgx.MustCompilePattern(p)
+		for trial := 0; trial < 4; trial++ {
+			n := r.Intn(8) + 1
+			s := workload.RandomString(r, n, 2)
+			_, want, err := enum.Eval(a, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 7} {
+				_, got, err := enum.EvalParallel(a, s, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("[[%s]](%q) workers=%d: %d tuples, want %d", p, s, workers, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Compare(want[i]) != 0 {
+						t.Fatalf("[[%s]](%q) workers=%d: order differs at %d: %v vs %v",
+							p, s, workers, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalParallelEdgeCases(t *testing.T) {
+	a := rgx.MustCompilePattern("x{a}")
+	// Empty result.
+	_, got, err := enum.EvalParallel(a, "b", 4)
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty: %v, %v", got, err)
+	}
+	// Empty string.
+	b := rgx.MustCompilePattern("x{}")
+	_, got, err = enum.EvalParallel(b, "", 4)
+	if err != nil || len(got) != 1 {
+		t.Errorf("ε: %v, %v", got, err)
+	}
+	// Default worker count.
+	_, got, err = enum.EvalParallel(a, "a", 0)
+	if err != nil || len(got) != 1 {
+		t.Errorf("default workers: %v, %v", got, err)
+	}
+	// Non-functional input.
+	if _, _, err := enum.EvalParallel(nonFunctionalVSA(), "a", 2); err == nil {
+		t.Error("non-functional automaton must be rejected")
+	}
+}
+
+func TestEvalParallelRandomAutomata(t *testing.T) {
+	r := rand.New(rand.NewSource(809))
+	vars := span.NewVarList("x", "y")
+	for i := 0; i < 40; i++ {
+		a := oracle.RandomFunctionalVSA(r, vars, 4, 10)
+		s := workload.RandomString(r, r.Intn(5)+1, 2)
+		_, want, err := enum.Eval(a, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := enum.EvalParallel(a, s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d tuples", i, len(got), len(want))
+		}
+		for k := range got {
+			if got[k].Compare(want[k]) != 0 {
+				t.Fatalf("trial %d: order differs at %d", i, k)
+			}
+		}
+	}
+}
+
+func nonFunctionalVSA() *vsa.VSA {
+	a := &vsa.VSA{Vars: span.NewVarList("x"), Adj: make([][]vsa.Tr, 1), Init: 0, Final: 0}
+	a.AddOpen(0, 0, 0)
+	a.AddChar(0, alphabet.Single('a'), 0)
+	a.AddClose(0, 0, 0)
+	return a
+}

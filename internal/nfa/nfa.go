@@ -1,0 +1,252 @@
+// Package nfa implements plain NFAs over an abstract integer alphabet and
+// the cross-section enumeration of Ackerman and Shallit ("Efficient
+// enumeration of words in regular languages", TCS 2009) that Theorem 3.3's
+// algorithm is reduced to: given an NFA M and a length ℓ, enumerate
+// L(M) ∩ Σ^ℓ in radix order with polynomial delay and no repetitions.
+//
+// Package enum contains a version specialized to the layered automaton A_G;
+// this generic implementation serves as an independently tested substrate
+// and as a cross-validation target for it.
+package nfa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a transition labelled with an abstract symbol id. Symbol ids
+// double as the radix order: smaller id = smaller letter.
+type Edge struct {
+	Sym int32
+	To  int32
+}
+
+// NFA is a nondeterministic finite automaton without ε-transitions over
+// symbols 0..NumSyms-1.
+type NFA struct {
+	NumStates int
+	NumSyms   int
+	Start     []int32
+	Final     []int32
+	Adj       [][]Edge
+}
+
+// New returns an empty automaton with n states.
+func New(states, syms int) *NFA {
+	return &NFA{NumStates: states, NumSyms: syms, Adj: make([][]Edge, states)}
+}
+
+// Add inserts a transition.
+func (m *NFA) Add(p int32, sym int32, q int32) {
+	m.Adj[p] = append(m.Adj[p], Edge{Sym: sym, To: q})
+}
+
+// sortEdges orders each adjacency list by (symbol, target) and removes
+// duplicates; required before enumeration.
+func (m *NFA) sortEdges() {
+	for i := range m.Adj {
+		es := m.Adj[i]
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].Sym != es[b].Sym {
+				return es[a].Sym < es[b].Sym
+			}
+			return es[a].To < es[b].To
+		})
+		out := es[:0]
+		for k, e := range es {
+			if k == 0 || es[k-1] != e {
+				out = append(out, e)
+			}
+		}
+		m.Adj[i] = out
+	}
+}
+
+// CrossSection returns an iterator over L(M) ∩ Σ^length in radix order.
+// Preprocessing is O(length · (|Q| + |Δ|)); the delay between words is
+// O(length · |Q|²) in the worst case.
+type CrossSection struct {
+	m      *NFA
+	length int
+	// alive[i][q]: state q can reach a final state in exactly length-i
+	// steps. Words are built left to right through alive states only.
+	alive [][]bool
+
+	started bool
+	done    bool
+	word    []int32
+	sets    [][]int32 // sets[i]: alive states after reading word[:i+1]
+}
+
+// EnumerateLength prepares a cross-section enumeration.
+func (m *NFA) EnumerateLength(length int) (*CrossSection, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("nfa: negative length %d", length)
+	}
+	m.sortEdges()
+	cs := &CrossSection{m: m, length: length}
+	// Backward reachability DP.
+	cs.alive = make([][]bool, length+1)
+	cs.alive[length] = make([]bool, m.NumStates)
+	for _, f := range m.Final {
+		cs.alive[length][f] = true
+	}
+	for i := length - 1; i >= 0; i-- {
+		cs.alive[i] = make([]bool, m.NumStates)
+		for q := 0; q < m.NumStates; q++ {
+			for _, e := range m.Adj[q] {
+				if cs.alive[i+1][e.To] {
+					cs.alive[i][q] = true
+					break
+				}
+			}
+		}
+	}
+	cs.word = make([]int32, length)
+	cs.sets = make([][]int32, length)
+	return cs, nil
+}
+
+// Next returns the next word of the cross-section; ok is false when done.
+// The returned slice is reused across calls; copy it to retain.
+func (cs *CrossSection) Next() (word []int32, ok bool) {
+	if cs.done {
+		return nil, false
+	}
+	if !cs.started {
+		cs.started = true
+		if cs.length == 0 {
+			cs.done = true
+			for _, s := range cs.m.Start {
+				if cs.alive[0][s] {
+					return cs.word, true // the empty word
+				}
+			}
+			return nil, false
+		}
+		if !cs.minWord(0) {
+			cs.done = true
+			return nil, false
+		}
+		return cs.word, true
+	}
+	if cs.length == 0 || !cs.nextWord() {
+		cs.done = true
+		return nil, false
+	}
+	return cs.word, true
+}
+
+// statesBefore returns the state set from which position i's symbol is
+// chosen.
+func (cs *CrossSection) statesBefore(i int) []int32 {
+	if i == 0 {
+		var out []int32
+		for _, s := range cs.m.Start {
+			if cs.alive[0][s] {
+				out = append(out, s)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	return cs.sets[i-1]
+}
+
+// minSym finds the smallest symbol > after available from the set at
+// position i that leads to an alive state; after = -1 means any.
+func (cs *CrossSection) minSym(i int, after int32) (int32, bool) {
+	best := int32(-1)
+	for _, q := range cs.statesBefore(i) {
+		for _, e := range cs.m.Adj[q] {
+			if e.Sym <= after || !cs.alive[i+1][e.To] {
+				continue
+			}
+			if best < 0 || e.Sym < best {
+				best = e.Sym
+			}
+			break // adjacency sorted by symbol: first viable is minimal for q
+		}
+	}
+	return best, best >= 0
+}
+
+// setSym fixes word[i] = sym and recomputes sets[i].
+func (cs *CrossSection) setSym(i int, sym int32) {
+	cs.word[i] = sym
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, q := range cs.statesBefore(i) {
+		for _, e := range cs.m.Adj[q] {
+			if e.Sym != sym || !cs.alive[i+1][e.To] {
+				continue
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				out = append(out, e.To)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	cs.sets[i] = out
+}
+
+func (cs *CrossSection) minWord(from int) bool {
+	for i := from; i < cs.length; i++ {
+		sym, ok := cs.minSym(i, -1)
+		if !ok {
+			return false
+		}
+		cs.setSym(i, sym)
+	}
+	return true
+}
+
+func (cs *CrossSection) nextWord() bool {
+	for i := cs.length - 1; i >= 0; i-- {
+		sym, ok := cs.minSym(i, cs.word[i])
+		if !ok {
+			continue
+		}
+		cs.setSym(i, sym)
+		if cs.minWord(i + 1) {
+			return true
+		}
+	}
+	return false
+}
+
+// minSym has a subtle requirement: the per-state break above assumes each
+// state's first viable edge has that state's minimal viable symbol, which
+// holds because adjacency lists are symbol-sorted and we skip non-alive
+// targets only after comparing symbols. For safety the break is taken only
+// after a viable edge; non-viable edges with smaller symbols are skipped in
+// the loop.
+
+// Accepts reports whether the NFA accepts the word (for tests).
+func (m *NFA) Accepts(word []int32) bool {
+	cur := map[int32]bool{}
+	for _, s := range m.Start {
+		cur[s] = true
+	}
+	for _, sym := range word {
+		next := map[int32]bool{}
+		for q := range cur {
+			for _, e := range m.Adj[q] {
+				if e.Sym == sym {
+					next[e.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for _, f := range m.Final {
+		if cur[f] {
+			return true
+		}
+	}
+	return false
+}

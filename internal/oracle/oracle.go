@@ -1,0 +1,337 @@
+// Package oracle provides brute-force reference evaluators for regex
+// formulas and vset-automata, implemented directly from the ref-word
+// definitions of the paper (§2.2) and deliberately sharing no code with the
+// fast paths (no variable configurations, no layered graphs). The test
+// suites compare every production algorithm against these oracles.
+//
+// Complexity is exponential in the number of variables and polynomial of
+// high degree in |s|; oracles are for small inputs only.
+package oracle
+
+import (
+	"sort"
+
+	"spanjoin/internal/refword"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// EvalFormula computes [[α]](s) by enumerating every (Vars(α), s)-tuple and
+// every interleaving ref-word for it, testing membership in R(α) with a
+// memoized structural matcher. Tuples are returned sorted by span.Compare.
+func EvalFormula(f *rgx.Formula, s string) []span.Tuple {
+	var out []span.Tuple
+	m := newMatcher(f.Root)
+	forEachTuple(len(s), len(f.Vars), func(t span.Tuple) {
+		for _, w := range refword.Interleavings(s, f.Vars, t) {
+			if m.matches(w) {
+				out = append(out, t.Clone())
+				break
+			}
+		}
+	})
+	SortTuples(out)
+	return out
+}
+
+// EvalVSA computes [[A]](s) by enumerating tuples and interleavings and
+// testing ref-word acceptance with a plain NFA subset simulation over the
+// extended alphabet Σ ∪ Γ_V.
+func EvalVSA(a *vsa.VSA, s string) []span.Tuple {
+	var out []span.Tuple
+	forEachTuple(len(s), len(a.Vars), func(t span.Tuple) {
+		for _, w := range refword.Interleavings(s, a.Vars, t) {
+			if Accepts(a, w) {
+				out = append(out, t.Clone())
+				break
+			}
+		}
+	})
+	SortTuples(out)
+	return out
+}
+
+// Accepts reports whether the vset-automaton, viewed as an NFA over
+// Σ ∪ Γ_V, accepts the ref-word w.
+func Accepts(a *vsa.VSA, w refword.Word) bool {
+	cur := epsClosure(a, []int32{a.Init})
+	for _, sym := range w {
+		var next []int32
+		seen := make(map[int32]bool)
+		for _, q := range cur {
+			for _, t := range a.Adj[q] {
+				ok := false
+				switch {
+				case sym.Op == refword.Terminal && t.Kind == vsa.KChar:
+					ok = t.Class.Contains(sym.Byte)
+				case sym.Op == refword.OpenVar && t.Kind == vsa.KOpen:
+					ok = a.Vars[t.Var] == sym.Var
+				case sym.Op == refword.CloseVar && t.Kind == vsa.KClose:
+					ok = a.Vars[t.Var] == sym.Var
+				}
+				if ok && !seen[t.To] {
+					seen[t.To] = true
+					next = append(next, t.To)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = epsClosure(a, next)
+	}
+	for _, q := range cur {
+		if q == a.Final {
+			return true
+		}
+	}
+	return false
+}
+
+func epsClosure(a *vsa.VSA, states []int32) []int32 {
+	seen := make(map[int32]bool, len(states))
+	out := append([]int32(nil), states...)
+	for _, q := range states {
+		seen[q] = true
+	}
+	for i := 0; i < len(out); i++ {
+		for _, t := range a.Adj[out[i]] {
+			if t.Kind == vsa.KEps && !seen[t.To] {
+				seen[t.To] = true
+				out = append(out, t.To)
+			}
+		}
+	}
+	return out
+}
+
+// forEachTuple enumerates every assignment of v spans over a string of
+// length n — ((n+1)(n+2)/2)^v tuples.
+func forEachTuple(n, v int, fn func(span.Tuple)) {
+	all := span.All(n)
+	t := make(span.Tuple, v)
+	var rec func(int)
+	rec = func(i int) {
+		if i == v {
+			fn(t)
+			return
+		}
+		for _, sp := range all {
+			t[i] = sp
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// SortTuples sorts tuples by span.Tuple.Compare, the canonical order used
+// when comparing oracle output with production output.
+func SortTuples(ts []span.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}
+
+// EqualTupleSets reports whether two tuple slices contain the same tuples,
+// ignoring order and multiplicity.
+func EqualTupleSets(a, b []span.Tuple) bool {
+	am := map[string]bool{}
+	for _, t := range a {
+		am[t.Key()] = true
+	}
+	bm := map[string]bool{}
+	for _, t := range b {
+		bm[t.Key()] = true
+	}
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// matcher decides r ∈ R(α) by memoized structural recursion over the AST
+// and the ref-word interval [i, j).
+type matcher struct {
+	nodes []rgx.Node
+	word  refword.Word
+	memo  map[[3]int32]bool
+}
+
+func newMatcher(root rgx.Node) *matcher {
+	m := &matcher{memo: map[[3]int32]bool{}}
+	m.index(desugar(root))
+	return m
+}
+
+// desugar rewrites α+ into α·α* and α? into ε ∨ α so the matcher only
+// handles core constructs and every node it recurses into is indexed.
+func desugar(n rgx.Node) rgx.Node {
+	switch t := n.(type) {
+	case rgx.Concat:
+		subs := make([]rgx.Node, len(t.Subs))
+		for i, c := range t.Subs {
+			subs[i] = desugar(c)
+		}
+		return rgx.Concat{Subs: subs}
+	case rgx.Alt:
+		subs := make([]rgx.Node, len(t.Subs))
+		for i, c := range t.Subs {
+			subs[i] = desugar(c)
+		}
+		return rgx.Alt{Subs: subs}
+	case rgx.Star:
+		return rgx.Star{Sub: desugar(t.Sub)}
+	case rgx.Plus:
+		s := desugar(t.Sub)
+		return rgx.Concat{Subs: []rgx.Node{s, rgx.Star{Sub: s}}}
+	case rgx.Opt:
+		return rgx.Alt{Subs: []rgx.Node{rgx.Epsilon{}, desugar(t.Sub)}}
+	case rgx.Capture:
+		return rgx.Capture{Var: t.Var, Sub: desugar(t.Sub)}
+	}
+	return n
+}
+
+func (m *matcher) index(n rgx.Node) int32 {
+	id := int32(len(m.nodes))
+	m.nodes = append(m.nodes, n)
+	switch t := n.(type) {
+	case rgx.Concat:
+		for _, c := range t.Subs {
+			m.index(c)
+		}
+	case rgx.Alt:
+		for _, c := range t.Subs {
+			m.index(c)
+		}
+	case rgx.Star:
+		m.index(t.Sub)
+	case rgx.Plus:
+		m.index(t.Sub)
+	case rgx.Opt:
+		m.index(t.Sub)
+	case rgx.Capture:
+		m.index(t.Sub)
+	}
+	return id
+}
+
+// nodeID finds the index of a (sub)node; nodes were appended in preorder so
+// identity is positional. We recompute by scanning — fine for oracle sizes.
+func (m *matcher) nodeID(n rgx.Node) int32 {
+	for i := range m.nodes {
+		if sameNode(m.nodes[i], n) {
+			return int32(i)
+		}
+	}
+	panic("oracle: node not indexed")
+}
+
+func sameNode(a, b rgx.Node) bool {
+	// Node values are compared structurally via interface equality where
+	// possible; Concat/Alt contain slices and are compared by pointer-free
+	// structural identity through String(), which is unambiguous.
+	return a.String() == b.String() && typeName(a) == typeName(b)
+}
+
+func typeName(n rgx.Node) string {
+	switch n.(type) {
+	case rgx.Empty:
+		return "Empty"
+	case rgx.Epsilon:
+		return "Epsilon"
+	case rgx.Class:
+		return "Class"
+	case rgx.Concat:
+		return "Concat"
+	case rgx.Alt:
+		return "Alt"
+	case rgx.Star:
+		return "Star"
+	case rgx.Plus:
+		return "Plus"
+	case rgx.Opt:
+		return "Opt"
+	case rgx.Capture:
+		return "Capture"
+	}
+	return "?"
+}
+
+func (m *matcher) matches(w refword.Word) bool {
+	m.word = w
+	m.memo = map[[3]int32]bool{}
+	return m.gen(m.nodes[0], 0, int32(len(w)))
+}
+
+func (m *matcher) gen(n rgx.Node, i, j int32) bool {
+	key := [3]int32{m.nodeID(n), i, j}
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	m.memo[key] = false // cycle guard (Star with ε-generating sub)
+	v := m.genUncached(n, i, j)
+	m.memo[key] = v
+	return v
+}
+
+func (m *matcher) genUncached(n rgx.Node, i, j int32) bool {
+	switch t := n.(type) {
+	case rgx.Empty:
+		return false
+	case rgx.Epsilon:
+		return i == j
+	case rgx.Class:
+		return j == i+1 && m.word[i].Op == refword.Terminal && t.C.Contains(m.word[i].Byte)
+	case rgx.Concat:
+		return m.genSeq(t.Subs, i, j)
+	case rgx.Alt:
+		for _, c := range t.Subs {
+			if m.gen(c, i, j) {
+				return true
+			}
+		}
+		return false
+	case rgx.Star:
+		if i == j {
+			return true
+		}
+		for k := i + 1; k <= j; k++ {
+			if m.gen(t.Sub, i, k) && m.gen(n, k, j) {
+				return true
+			}
+		}
+		return false
+	case rgx.Capture:
+		if j-i < 2 {
+			return false
+		}
+		if m.word[i].Op != refword.OpenVar || m.word[i].Var != t.Var {
+			return false
+		}
+		if m.word[j-1].Op != refword.CloseVar || m.word[j-1].Var != t.Var {
+			return false
+		}
+		return m.gen(t.Sub, i+1, j-1)
+	}
+	return false
+}
+
+func (m *matcher) genSeq(subs []rgx.Node, i, j int32) bool {
+	if len(subs) == 0 {
+		return i == j
+	}
+	if len(subs) == 1 {
+		return m.gen(subs[0], i, j)
+	}
+	for k := i; k <= j; k++ {
+		if m.gen(subs[0], i, k) && m.genSeq(subs[1:], k, j) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// RandomVSA generates a random small vset-automaton over the given
+// variables and the alphabet {a, b}: `states` states with random character,
+// ε and variable transitions. The result is usually not functional.
+func RandomVSA(r *rand.Rand, vars span.VarList, states, transitions int) *vsa.VSA {
+	a := &vsa.VSA{Vars: vars, Adj: make([][]vsa.Tr, states)}
+	a.Init = int32(r.Intn(states))
+	a.Final = int32(r.Intn(states))
+	for i := 0; i < transitions; i++ {
+		p := int32(r.Intn(states))
+		q := int32(r.Intn(states))
+		switch r.Intn(4) {
+		case 0:
+			a.AddChar(p, alphabet.Single('a'), q)
+		case 1:
+			a.AddChar(p, alphabet.Single('b'), q)
+		case 2:
+			if len(vars) > 0 {
+				v := int32(r.Intn(len(vars)))
+				if r.Intn(2) == 0 {
+					a.AddOpen(p, v, q)
+				} else {
+					a.AddClose(p, v, q)
+				}
+			} else {
+				a.AddEps(p, q)
+			}
+		default:
+			a.AddEps(p, q)
+		}
+	}
+	return a
+}
+
+// RandomFunctionalVSA generates a random *functional* vset-automaton by
+// functionalizing a random one (the state × configuration product keeps
+// exactly the valid ref-words, so the result is functional by
+// construction). May have an empty language.
+func RandomFunctionalVSA(r *rand.Rand, vars span.VarList, states, transitions int) *vsa.VSA {
+	return vsa.Functionalize(RandomVSA(r, vars, states, transitions))
+}

@@ -1,0 +1,295 @@
+package reductions
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/span"
+)
+
+// Graph is an undirected graph over nodes 1..N.
+type Graph struct {
+	N     int
+	Edges [][2]int // i < j
+}
+
+// HasEdge reports adjacency (order-insensitive).
+func (g *Graph) HasEdge(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	for _, e := range g.Edges {
+		if e[0] == a && e[1] == b {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeCode gives each node a fixed-width binary code over {a, b}
+// (O(log n) length as in the proof of Theorem 3.2).
+func nodeCode(i, width int) string {
+	b := make([]byte, width)
+	for k := width - 1; k >= 0; k-- {
+		if i&1 == 1 {
+			b[k] = 'b'
+		} else {
+			b[k] = 'a'
+		}
+		i >>= 1
+	}
+	return string(b)
+}
+
+func codeWidth(n int) int {
+	w := 1
+	for 1<<w < n+1 {
+		w++
+	}
+	return w
+}
+
+// CliqueString encodes the edge set of g as the string s of Theorem 3.2:
+// the concatenation of e_{i,j} = ⟨ v_i # v_j ⟩ for every edge {v_i, v_j}
+// with i < j, ordered lexicographically. The markers ⟨, #, ⟩ are the
+// bytes '<', '#', '>'.
+func CliqueString(g *Graph) string {
+	w := codeWidth(g.N)
+	var sb strings.Builder
+	for i := 1; i <= g.N; i++ {
+		for j := i + 1; j <= g.N; j++ {
+			if g.HasEdge(i, j) {
+				sb.WriteString("<" + nodeCode(i, w) + "#" + nodeCode(j, w) + ">")
+			}
+		}
+	}
+	return sb.String()
+}
+
+func xName(i, j int) string { return fmt.Sprintf("x%d_%d", i, j) }
+func yName(i, j int) string { return fmt.Sprintf("y%d_%d", i, j) }
+
+// gammaAtom builds the atom γ of Theorem 3.2: for all 1 ≤ i < j ≤ k, the
+// pair (x_{i,j}, y_{i,j}) matches some edge ⟨ v # v' ⟩ of s, in the global
+// order of s:
+//
+//	γ = γ_{1,2} … γ_{1,k} γ_{2,3} … γ_{k-1,k}   with
+//	γ_{i,j} = Σ* ⟨ x_{i,j}{(a∨b)*} # y_{i,j}{(a∨b)*} ⟩ Σ*
+//
+// As in the paper, γ is a single regex formula (the concatenation of the
+// γ_{i,j} with Σ* separators collapses into one pattern).
+func gammaAtom(k int) (*core.Atom, error) {
+	var sb strings.Builder
+	sb.WriteString(".*")
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			sb.WriteString(fmt.Sprintf(`<%s{[ab]*}#%s{[ab]*}>.*`, xName(i, j), yName(i, j)))
+		}
+	}
+	return core.NewAtom("gamma", sb.String())
+}
+
+// deltaAtom builds δ_l of Theorem 3.2: a disjunction over all nodes v
+// forcing every y_{i,l} (i < l) and x_{l,j} (l < j) to match the code of
+// the same node v, respecting the variable order in s.
+func deltaAtom(g *Graph, k, l int) (*core.Atom, error) {
+	w := codeWidth(g.N)
+	var branches []string
+	for v := 1; v <= g.N; v++ {
+		code := nodeCode(v, w)
+		var sb strings.Builder
+		sb.WriteString(".*")
+		for i := 1; i < l; i++ {
+			sb.WriteString(fmt.Sprintf(`#%s{%s}>.*`, yName(i, l), code))
+		}
+		for j := l + 1; j <= k; j++ {
+			sb.WriteString(fmt.Sprintf(`<%s{%s}#.*`, xName(l, j), code))
+		}
+		branches = append(branches, sb.String())
+	}
+	return core.NewAtom(fmt.Sprintf("delta%d", l), "("+strings.Join(branches, "|")+")")
+}
+
+// CliqueQuery builds the Boolean gamma-acyclic regex CQ of Theorem 3.2 for
+// finding a k-clique. The projection keeps all variables so the clique can
+// be decoded; project to ∅ for the Boolean version.
+func CliqueQuery(g *Graph, k int) (*core.CQ, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("reductions: clique size must be ≥ 2, got %d", k)
+	}
+	gamma, err := gammaAtom(k)
+	if err != nil {
+		return nil, err
+	}
+	atoms := []*core.Atom{gamma}
+	for l := 1; l <= k; l++ {
+		// δ_l is trivial when l has no yi,l or xl,j companions beyond γ.
+		if l == 1 && k < 2 {
+			continue
+		}
+		d, err := deltaAtom(g, k, l)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, d)
+	}
+	return &core.CQ{Atoms: atoms}, nil
+}
+
+// DecodeClique reads the clique nodes off a result tuple: node l is decoded
+// from x_{l,l+1} (or y_{k-1,k} for l = k).
+func DecodeClique(g *Graph, k int, vars span.VarList, t span.Tuple, s string) ([]int, error) {
+	w := codeWidth(g.N)
+	decode := func(code string) (int, error) {
+		if len(code) != w {
+			return 0, fmt.Errorf("reductions: code %q has width %d, want %d", code, len(code), w)
+		}
+		v := 0
+		for i := 0; i < len(code); i++ {
+			v <<= 1
+			if code[i] == 'b' {
+				v |= 1
+			}
+		}
+		return v, nil
+	}
+	nodes := make([]int, k+1)
+	for l := 1; l < k; l++ {
+		idx := vars.Index(xName(l, l+1))
+		if idx < 0 {
+			return nil, fmt.Errorf("reductions: variable %s missing", xName(l, l+1))
+		}
+		v, err := decode(t[idx].Substr(s))
+		if err != nil {
+			return nil, err
+		}
+		nodes[l] = v
+	}
+	idx := vars.Index(yName(k-1, k))
+	if idx < 0 {
+		return nil, fmt.Errorf("reductions: variable %s missing", yName(k-1, k))
+	}
+	v, err := decode(t[idx].Substr(s))
+	if err != nil {
+		return nil, err
+	}
+	nodes[k] = v
+	return nodes[1:], nil
+}
+
+// FindClique looks for a k-clique through the spanner reduction and
+// verifies the decoded witness.
+func FindClique(g *Graph, k int, opts core.Options) ([]int, bool, error) {
+	q, err := CliqueQuery(g, k)
+	if err != nil {
+		return nil, false, err
+	}
+	s := CliqueString(g)
+	if s == "" {
+		return nil, false, nil
+	}
+	it, err := q.Enumerate(s, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	t, ok := it.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	nodes, err := DecodeClique(g, k, it.Vars(), t, s)
+	if err != nil {
+		return nil, false, err
+	}
+	if !IsClique(g, nodes) {
+		return nil, false, fmt.Errorf("reductions: decoded %v is not a clique (reduction bug)", nodes)
+	}
+	return nodes, true, nil
+}
+
+// IsClique verifies that the nodes are distinct and pairwise adjacent.
+func IsClique(g *Graph, nodes []int) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if nodes[i] == nodes[j] || !g.HasEdge(nodes[i], nodes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BruteForceClique is the reference solver.
+func BruteForceClique(g *Graph, k int) ([]int, bool) {
+	nodes := make([]int, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(nodes) == k {
+			return true
+		}
+		for v := start; v <= g.N; v++ {
+			ok := true
+			for _, u := range nodes {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			nodes = append(nodes, v)
+			if rec(v + 1) {
+				return true
+			}
+			nodes = nodes[:len(nodes)-1]
+		}
+		return false
+	}
+	if rec(1) {
+		return append([]int(nil), nodes...), true
+	}
+	return nil, false
+}
+
+// AllCliques enumerates every k-clique of g (as sorted node lists) through
+// the spanner reduction, deduplicating the decoded witnesses — one
+// Theorem 3.2 query evaluation enumerates them all.
+func AllCliques(g *Graph, k int, opts core.Options) ([][]int, error) {
+	q, err := CliqueQuery(g, k)
+	if err != nil {
+		return nil, err
+	}
+	s := CliqueString(g)
+	if s == "" {
+		return nil, nil
+	}
+	it, err := q.Enumerate(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out [][]int
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		nodes, err := DecodeClique(g, k, it.Vars(), t, s)
+		if err != nil {
+			return nil, err
+		}
+		sorted := append([]int(nil), nodes...)
+		sort.Ints(sorted)
+		key := fmt.Sprint(sorted)
+		if seen[key] {
+			continue
+		}
+		if !IsClique(g, sorted) {
+			return nil, fmt.Errorf("reductions: decoded %v is not a clique", sorted)
+		}
+		seen[key] = true
+		out = append(out, sorted)
+	}
+}

@@ -1,0 +1,110 @@
+package reductions
+
+import (
+	"fmt"
+	"strings"
+
+	"spanjoin/internal/core"
+)
+
+// CliqueEqQuery builds the Boolean regex CQ *with string equalities* of
+// Theorem 5.2: the γ atom of Theorem 3.2 plus, for each 1 ≤ l ≤ k, a
+// sequence S_l of binary string-equality selections chaining all of
+// y_{1,l}, …, y_{l-1,l}, x_{l,l+1}, …, x_{l,k} to the same substring.
+//
+// Unlike Theorem 3.2's δ_l atoms, the query size depends only on k, not on
+// the graph — which is exactly why the reduction shows W[1]-hardness in the
+// parameter |q|.
+func CliqueEqQuery(g *Graph, k int) (*core.CQ, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("reductions: clique size must be ≥ 2, got %d", k)
+	}
+	gamma, err := gammaAtom(k)
+	if err != nil {
+		return nil, err
+	}
+	var eqs [][2]string
+	for l := 1; l <= k; l++ {
+		group := groupVars(k, l)
+		for i := 0; i+1 < len(group); i++ {
+			eqs = append(eqs, [2]string{group[i], group[i+1]})
+		}
+	}
+	return &core.CQ{Atoms: []*core.Atom{gamma}, Equalities: eqs}, nil
+}
+
+// groupVars lists the variables that must all denote node l's code:
+// y_{i,l} for i < l and x_{l,j} for j > l.
+func groupVars(k, l int) []string {
+	var out []string
+	for i := 1; i < l; i++ {
+		out = append(out, yName(i, l))
+	}
+	for j := l + 1; j <= k; j++ {
+		out = append(out, xName(l, j))
+	}
+	return out
+}
+
+// FindCliqueEq solves k-clique through the Theorem 5.2 reduction and
+// verifies the witness.
+func FindCliqueEq(g *Graph, k int, opts core.Options) ([]int, bool, error) {
+	q, err := CliqueEqQuery(g, k)
+	if err != nil {
+		return nil, false, err
+	}
+	s := CliqueString(g)
+	if s == "" {
+		return nil, false, nil
+	}
+	it, err := q.Enumerate(s, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	t, ok := it.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	nodes, err := DecodeClique(g, k, it.Vars(), t, s)
+	if err != nil {
+		return nil, false, err
+	}
+	if !IsClique(g, nodes) {
+		return nil, false, fmt.Errorf("reductions: decoded %v is not a clique (reduction bug)", nodes)
+	}
+	return nodes, true, nil
+}
+
+// QuerySize reports |q| ingredients for the W[1] discussion: number of
+// atoms, equalities and variables — for CliqueEqQuery these depend only on
+// k (Theorem 5.2), while CliqueQuery's δ atoms grow with the graph.
+func QuerySize(q *core.CQ) (atoms, equalities, vars, patternBytes int) {
+	atoms = len(q.Atoms)
+	equalities = len(q.Equalities)
+	vars = len(q.AllVars())
+	for _, a := range q.Atoms {
+		if a.Formula != nil {
+			patternBytes += len(a.Formula.Pattern)
+		}
+	}
+	return
+}
+
+// FormatAssignment renders a satisfying assignment for display.
+func FormatAssignment(asg []bool) string {
+	var sb strings.Builder
+	for i := 1; i < len(asg); i++ {
+		if i > 1 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "x%d=%v", i, boolToInt(asg[i]))
+	}
+	return sb.String()
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+package reductions_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/reductions"
+	"spanjoin/internal/workload"
+)
+
+func path4() *reductions.Graph {
+	return &reductions.Graph{N: 4, Edges: [][2]int{{1, 2}, {2, 3}, {3, 4}}}
+}
+
+func k4() *reductions.Graph {
+	return &reductions.Graph{N: 4, Edges: [][2]int{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}}
+}
+
+func TestCliqueStringEncoding(t *testing.T) {
+	g := &reductions.Graph{N: 2, Edges: [][2]int{{1, 2}}}
+	s := reductions.CliqueString(g)
+	// width 2 codes: v1 = "ab", v2 = "ba".
+	if s != "<ab#ba>" {
+		t.Errorf("encoding = %q", s)
+	}
+	if got := reductions.CliqueString(&reductions.Graph{N: 3}); got != "" {
+		t.Errorf("edgeless graph should encode to empty string, got %q", got)
+	}
+}
+
+func TestCliqueFixedGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *reductions.Graph
+		k    int
+		want bool
+	}{
+		{"triangle in K4", k4(), 3, true},
+		{"K4 has K4", k4(), 4, true},
+		{"no triangle in path", path4(), 3, false},
+		{"edge as 2-clique", path4(), 2, true},
+	}
+	for _, tc := range cases {
+		nodes, ok, err := reductions.FindClique(tc.g, tc.k, core.Options{Strategy: core.Canonical})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ok != tc.want {
+			t.Errorf("%s: found=%v, want %v", tc.name, ok, tc.want)
+		}
+		if ok && !reductions.IsClique(tc.g, nodes) {
+			t.Errorf("%s: bad witness %v", tc.name, nodes)
+		}
+	}
+}
+
+func TestCliqueQueryIsGammaAcyclic(t *testing.T) {
+	// Theorem 3.2: "q contains no gamma-cycles since each two different δl
+	// have no common variables."
+	q, err := reductions.CliqueQuery(k4(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsGammaAcyclic() {
+		t.Error("clique query must be gamma-acyclic")
+	}
+	if !q.IsAcyclic() {
+		t.Error("gamma-acyclic implies alpha-acyclic")
+	}
+}
+
+func TestCliqueAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 12; trial++ {
+		n := r.Intn(3) + 4
+		g := workload.RandomGraph(r, n, 0.5)
+		k := 3
+		_, want := reductions.BruteForceClique(g, k)
+		nodes, got, err := reductions.FindClique(g, k, core.Options{Strategy: core.Canonical})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: found=%v, brute force %v (graph %+v)", trial, got, want, g)
+		}
+		if got && !reductions.IsClique(g, nodes) {
+			t.Fatalf("trial %d: bad witness", trial)
+		}
+	}
+}
+
+func TestPlantedCliqueIsFound(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	g := workload.RandomGraph(r, 7, 0.2)
+	planted := workload.PlantClique(r, g, 3)
+	if !reductions.IsClique(g, planted) {
+		t.Fatal("planting broken")
+	}
+	_, ok, err := reductions.FindClique(g, 3, core.Options{Strategy: core.Canonical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("planted clique not found")
+	}
+}
+
+func TestCliqueEqAgainstBruteForce(t *testing.T) {
+	// Theorem 5.2 reduction (string equalities). Keep graphs tiny: the
+	// equality compilation is Θ(N^3)-states per selection.
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 4; trial++ {
+		n := 4
+		g := workload.RandomGraph(r, n, 0.6)
+		if len(g.Edges) == 0 {
+			continue
+		}
+		k := 3
+		_, want := reductions.BruteForceClique(g, k)
+		nodes, got, err := reductions.FindCliqueEq(g, k, core.Options{Strategy: core.Canonical})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: found=%v, brute force %v (graph %+v)", trial, got, want, g)
+		}
+		if got && !reductions.IsClique(g, nodes) {
+			t.Fatalf("trial %d: bad witness %v", trial, nodes)
+		}
+	}
+}
+
+func TestCliqueEqQuerySizeDependsOnlyOnK(t *testing.T) {
+	small := workload.RandomGraph(rand.New(rand.NewSource(1)), 4, 0.5)
+	big := workload.RandomGraph(rand.New(rand.NewSource(2)), 12, 0.5)
+	qs, err := reductions.CliqueEqQuery(small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := reductions.CliqueEqQuery(big, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aS, eS, vS, _ := reductions.QuerySize(qs)
+	aB, eB, vB, _ := reductions.QuerySize(qb)
+	if aS != aB || eS != eB || vS != vB {
+		t.Errorf("Thm 5.2 query size must not depend on the graph: (%d,%d,%d) vs (%d,%d,%d)",
+			aS, eS, vS, aB, eB, vB)
+	}
+	// Theorem 3.2's query, in contrast, grows with the graph.
+	q2s, err := reductions.CliqueQuery(small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2b, err := reductions.CliqueQuery(big, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, pS := reductions.QuerySize(q2s)
+	_, _, _, pB := reductions.QuerySize(q2b)
+	if pB <= pS {
+		t.Errorf("Thm 3.2 query must grow with the graph: %d vs %d pattern bytes", pS, pB)
+	}
+}
+
+func TestCliqueErrors(t *testing.T) {
+	if _, err := reductions.CliqueQuery(k4(), 1); err == nil {
+		t.Error("k < 2 must be rejected")
+	}
+	if _, _, err := reductions.FindClique(&reductions.Graph{N: 3}, 2, core.Options{}); err != nil {
+		t.Errorf("edgeless graph should report no clique, not error: %v", err)
+	}
+}
+
+func TestAllCliquesAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 8; trial++ {
+		g := workload.RandomGraph(r, 6, 0.6)
+		got, err := reductions.AllCliques(g, 3, core.Options{Strategy: core.Canonical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceAllCliques(g, 3)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d cliques, brute force %d (graph %+v)", trial, len(got), len(want), g)
+		}
+		wantSet := map[string]bool{}
+		for _, c := range want {
+			wantSet[fmt.Sprint(c)] = true
+		}
+		for _, c := range got {
+			if !wantSet[fmt.Sprint(c)] {
+				t.Fatalf("trial %d: spurious clique %v", trial, c)
+			}
+		}
+	}
+}
+
+func bruteForceAllCliques(g *reductions.Graph, k int) [][]int {
+	var out [][]int
+	nodes := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(nodes) == k {
+			out = append(out, append([]int(nil), nodes...))
+			return
+		}
+		for v := start; v <= g.N; v++ {
+			ok := true
+			for _, u := range nodes {
+				if !g.HasEdge(u, v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			nodes = append(nodes, v)
+			rec(v + 1)
+			nodes = nodes[:len(nodes)-1]
+		}
+	}
+	rec(1)
+	return out
+}

@@ -1,0 +1,223 @@
+// Package reductions implements the paper's lower-bound reductions as
+// runnable workloads:
+//
+//   - 3CNF-satisfiability → Boolean regex-CQ evaluation on the single-char
+//     string "a" (Theorem 3.1),
+//   - k-clique → gamma-acyclic Boolean regex-CQ evaluation (Theorem 3.2),
+//   - k-clique → Boolean regex-CQ with string equalities whose query size
+//     depends only on k (Theorem 5.2).
+//
+// Besides witnessing the hardness results empirically, the reductions make
+// entertaining example applications: a SAT solver and a clique finder built
+// out of a regex engine.
+package reductions
+
+import (
+	"fmt"
+	"strings"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/span"
+)
+
+// Lit is a literal of a CNF formula: a 1-based variable index, negative for
+// negated occurrences.
+type Lit int
+
+// Clause is a disjunction of three literals.
+type Clause [3]Lit
+
+// CNF is a 3CNF formula over variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks literal ranges.
+func (c *CNF) Validate() error {
+	for i, cl := range c.Clauses {
+		for _, l := range cl {
+			v := int(l)
+			if v < 0 {
+				v = -v
+			}
+			if v < 1 || v > c.NumVars {
+				return fmt.Errorf("reductions: clause %d has out-of-range literal %d", i, l)
+			}
+		}
+	}
+	return nil
+}
+
+// varName returns the capture-variable name encoding CNF variable i.
+func varName(i int) string { return fmt.Sprintf("v%d", i) }
+
+// SATString is the input string of the Theorem 3.1 reduction: the
+// single-character string "a".
+const SATString = "a"
+
+// SATQuery builds the Boolean regex CQ of Theorem 3.1 for ψ: one regex atom
+// γ_i per clause, γ_i = ∨_{τ satisfies C_i} γ_i^τ, where γ_i^τ places each
+// clause variable's capture at span [1,1⟩ (τ(x)=0) or [2,2⟩ (τ(x)=1) of "a".
+// The projection retains all variables so a satisfying assignment can be
+// decoded from any output tuple; project to ∅ for the Boolean version.
+func SATQuery(c *CNF) (*core.CQ, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	atoms := make([]*core.Atom, 0, len(c.Clauses))
+	for i, cl := range c.Clauses {
+		var branches []string
+		seen := map[string]bool{}
+		for bits := 0; bits < 8; bits++ {
+			if !consistentBits(cl, bits) || !clauseSatisfied(cl, bits) {
+				continue
+			}
+			b := assignmentRegex(cl, bits)
+			if !seen[b] {
+				seen[b] = true
+				branches = append(branches, b)
+			}
+		}
+		pattern := "(" + strings.Join(branches, "|") + ")"
+		a, err := core.NewAtom(fmt.Sprintf("clause%d", i), pattern)
+		if err != nil {
+			return nil, fmt.Errorf("clause %d: %w", i, err)
+		}
+		atoms = append(atoms, a)
+	}
+	return &core.CQ{Atoms: atoms}, nil
+}
+
+// clauseSatisfied evaluates the clause under the assignment where bit b of
+// bits gives the value of the clause's b-th variable occurrence.
+func clauseSatisfied(cl Clause, bits int) bool {
+	for b, l := range cl {
+		val := bits>>b&1 == 1
+		if l > 0 && val || l < 0 && !val {
+			return true
+		}
+	}
+	return false
+}
+
+// assignmentRegex encodes one satisfying assignment of a clause as a regex
+// formula over "a": variables assigned 0 wrap an empty capture before the
+// a, variables assigned 1 after it — giving spans [1,1⟩ and [2,2⟩.
+// Duplicate variables inside a clause are bound once (first occurrence
+// wins; assignments that disagree on a duplicated variable are filtered by
+// the caller via clauseSatisfied over consistent bit patterns only).
+func assignmentRegex(cl Clause, bits int) string {
+	var before, after []string
+	seen := map[int]bool{}
+	for b, l := range cl {
+		v := int(l)
+		if v < 0 {
+			v = -v
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if bits>>b&1 == 1 {
+			// Parenthesized so the variable name is not glued onto the
+			// preceding literal 'a' by the parser's word-run rule.
+			after = append(after, "("+varName(v)+"{})")
+		} else {
+			before = append(before, varName(v)+"{}")
+		}
+	}
+	return strings.Join(before, "") + "a" + strings.Join(after, "")
+}
+
+// consistentBits reports whether bits assigns duplicated clause variables
+// consistently.
+func consistentBits(cl Clause, bits int) bool {
+	val := map[int]bool{}
+	for b, l := range cl {
+		v := int(l)
+		if v < 0 {
+			v = -v
+		}
+		x := bits>>b&1 == 1
+		if prev, ok := val[v]; ok && prev != x {
+			return false
+		}
+		val[v] = x
+	}
+	return true
+}
+
+// DecodeAssignment reads a satisfying assignment from a tuple of the SAT
+// query: span [1,1⟩ ⇒ false, [2,2⟩ ⇒ true. Variables not mentioned in any
+// clause default to false.
+func DecodeAssignment(c *CNF, vars span.VarList, t span.Tuple) []bool {
+	out := make([]bool, c.NumVars+1)
+	for i := 1; i <= c.NumVars; i++ {
+		if k := vars.Index(varName(i)); k >= 0 {
+			out[i] = t[k].Start == 2
+		}
+	}
+	return out
+}
+
+// Satisfiable solves ψ through the spanner reduction: it evaluates the CQ
+// on "a" and decodes the first tuple. The assignment is verified before
+// returning.
+func Satisfiable(c *CNF, opts core.Options) (assignment []bool, ok bool, err error) {
+	q, err := SATQuery(c)
+	if err != nil {
+		return nil, false, err
+	}
+	it, err := q.Enumerate(SATString, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	t, ok := it.Next()
+	if !ok {
+		return nil, false, nil
+	}
+	asg := DecodeAssignment(c, it.Vars(), t)
+	if !Evaluate(c, asg) {
+		return nil, false, fmt.Errorf("reductions: decoded assignment does not satisfy ψ (reduction bug)")
+	}
+	return asg, true, nil
+}
+
+// Evaluate checks an assignment against the formula (assignment[i] is the
+// value of variable i; index 0 unused).
+func Evaluate(c *CNF, assignment []bool) bool {
+	for _, cl := range c.Clauses {
+		sat := false
+		for _, l := range cl {
+			v := int(l)
+			neg := false
+			if v < 0 {
+				v, neg = -v, true
+			}
+			if assignment[v] != neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForceSAT is the reference solver for tests and benchmarks.
+func BruteForceSAT(c *CNF) ([]bool, bool) {
+	n := c.NumVars
+	asg := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 1; i <= n; i++ {
+			asg[i] = mask>>(i-1)&1 == 1
+		}
+		if Evaluate(c, asg) {
+			return append([]bool(nil), asg...), true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,132 @@
+package reductions_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/reductions"
+	"spanjoin/internal/workload"
+)
+
+func TestSATFixedFormulas(t *testing.T) {
+	cases := []struct {
+		name string
+		cnf  *reductions.CNF
+		sat  bool
+	}{
+		{
+			"trivially satisfiable",
+			&reductions.CNF{NumVars: 3, Clauses: []reductions.Clause{{1, 2, 3}}},
+			true,
+		},
+		{
+			"forced assignment",
+			&reductions.CNF{NumVars: 1, Clauses: []reductions.Clause{{1, 1, 1}}},
+			true,
+		},
+		{
+			"contradiction",
+			&reductions.CNF{NumVars: 1, Clauses: []reductions.Clause{{1, 1, 1}, {-1, -1, -1}}},
+			false,
+		},
+		{
+			"2-out-of-3 chain",
+			&reductions.CNF{NumVars: 3, Clauses: []reductions.Clause{
+				{1, 2, 3}, {-1, 2, 3}, {1, -2, 3}, {1, 2, -3}, {-1, -2, -3},
+			}},
+			true,
+		},
+	}
+	for _, tc := range cases {
+		asg, ok, err := reductions.Satisfiable(tc.cnf, core.Options{Strategy: core.Automata})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ok != tc.sat {
+			t.Errorf("%s: sat = %v, want %v", tc.name, ok, tc.sat)
+		}
+		if ok && !reductions.Evaluate(tc.cnf, asg) {
+			t.Errorf("%s: returned assignment does not satisfy", tc.name)
+		}
+	}
+}
+
+func TestSATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := r.Intn(4) + 3
+		m := r.Intn(10) + 1
+		cnf := workload.RandomCNF(r, n, m)
+		_, want := reductions.BruteForceSAT(cnf)
+		for _, strat := range []core.Strategy{core.Canonical, core.Automata} {
+			asg, got, err := reductions.Satisfiable(cnf, core.Options{Strategy: strat})
+			if err != nil {
+				t.Fatalf("trial %d (%v): %v", trial, strat, err)
+			}
+			if got != want {
+				t.Fatalf("trial %d (%v): sat=%v, brute force says %v (cnf %+v)",
+					trial, strat, got, want, cnf)
+			}
+			if got && !reductions.Evaluate(cnf, asg) {
+				t.Fatalf("trial %d (%v): bad witness", trial, strat)
+			}
+		}
+	}
+}
+
+// TestSATSingleCharString verifies the striking part of Theorem 3.1: the
+// input string of the reduction really is the single character "a".
+func TestSATSingleCharString(t *testing.T) {
+	if reductions.SATString != "a" {
+		t.Fatalf("reduction string is %q", reductions.SATString)
+	}
+	cnf := workload.RandomCNF(rand.New(rand.NewSource(1)), 4, 6)
+	q, err := reductions.SATQuery(cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every atom is of bounded size: 7 branches of ≤ 3 empty captures plus
+	// one character (assumption 1 of Thm 3.1).
+	for _, a := range q.Atoms {
+		if a.Formula.Size() > 60 {
+			t.Errorf("atom %s has size %d, want bounded", a.Name, a.Formula.Size())
+		}
+	}
+}
+
+func TestSATQueryRejectsBadCNF(t *testing.T) {
+	bad := &reductions.CNF{NumVars: 2, Clauses: []reductions.Clause{{1, 2, 5}}}
+	if _, err := reductions.SATQuery(bad); err == nil {
+		t.Error("out-of-range literal must be rejected")
+	}
+}
+
+func TestDuplicateLiteralClauses(t *testing.T) {
+	// Clauses with duplicated variables must not break functionality.
+	cnf := &reductions.CNF{NumVars: 2, Clauses: []reductions.Clause{
+		{1, 1, 2}, {-1, -1, -2}, {1, -1, 2},
+	}}
+	_, bfOK := reductions.BruteForceSAT(cnf)
+	_, ok, err := reductions.Satisfiable(cnf, core.Options{Strategy: core.Automata})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != bfOK {
+		t.Errorf("sat=%v, brute force %v", ok, bfOK)
+	}
+}
+
+func TestEvaluateAndBruteForce(t *testing.T) {
+	cnf := &reductions.CNF{NumVars: 2, Clauses: []reductions.Clause{{1, -2, -2}}}
+	if !reductions.Evaluate(cnf, []bool{false, true, false}) {
+		t.Error("x1=1,x2=0 should satisfy")
+	}
+	if reductions.Evaluate(cnf, []bool{false, false, true}) {
+		t.Error("x1=0,x2=1 should falsify")
+	}
+	asg, ok := reductions.BruteForceSAT(cnf)
+	if !ok || !reductions.Evaluate(cnf, asg) {
+		t.Error("brute force broken")
+	}
+}

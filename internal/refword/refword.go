@@ -1,0 +1,281 @@
+// Package refword implements ref-words (reference words, paper §2.2.1):
+// strings over the extended alphabet Σ ∪ Γ_V, where Γ_V contains an opening
+// symbol x⊢ and a closing symbol ⊣x for every variable x ∈ V.
+//
+// Ref-words give regex formulas and vset-automata their semantics: a valid
+// ref-word r with clr(r) = s encodes the (V,s)-tuple µ_r that maps each
+// variable to the span delimited by its opening and closing symbols.
+package refword
+
+import (
+	"fmt"
+	"strings"
+
+	"spanjoin/internal/span"
+)
+
+// Sym is one symbol of a ref-word: either a terminal byte from Σ or a
+// variable operation from Γ_V.
+type Sym struct {
+	// Op distinguishes the three symbol kinds.
+	Op Op
+	// Byte is the terminal letter when Op == Terminal.
+	Byte byte
+	// Var is the variable name when Op is OpenVar or CloseVar.
+	Var string
+}
+
+// Op is the kind of a ref-word symbol.
+type Op uint8
+
+const (
+	// Terminal is a letter of Σ.
+	Terminal Op = iota
+	// OpenVar is the symbol x⊢ that opens variable x.
+	OpenVar
+	// CloseVar is the symbol ⊣x that closes variable x.
+	CloseVar
+)
+
+// Word is a ref-word: a sequence of symbols over Σ ∪ Γ_V.
+type Word []Sym
+
+// T returns a terminal symbol.
+func T(b byte) Sym { return Sym{Op: Terminal, Byte: b} }
+
+// Open returns the opening symbol x⊢.
+func Open(x string) Sym { return Sym{Op: OpenVar, Var: x} }
+
+// Close returns the closing symbol ⊣x.
+func Close(x string) Sym { return Sym{Op: CloseVar, Var: x} }
+
+// FromString builds the ref-word consisting of the terminals of s only.
+func FromString(s string) Word {
+	w := make(Word, len(s))
+	for i := 0; i < len(s); i++ {
+		w[i] = T(s[i])
+	}
+	return w
+}
+
+// Clr applies the clearing morphism: it erases all variable operations and
+// returns the terminal string (paper: clr(r)).
+func (w Word) Clr() string {
+	var sb strings.Builder
+	for _, sym := range w {
+		if sym.Op == Terminal {
+			sb.WriteByte(sym.Byte)
+		}
+	}
+	return sb.String()
+}
+
+// Valid reports whether w is valid for the variable set vars: every variable
+// is opened exactly once and closed exactly once, with the opening occurring
+// before the closing (paper §2.2.1). Variables not in vars must not occur.
+func (w Word) Valid(vars span.VarList) bool {
+	const (
+		waiting = 0
+		open    = 1
+		closed  = 2
+	)
+	state := make(map[string]int, len(vars))
+	for _, sym := range w {
+		switch sym.Op {
+		case Terminal:
+			continue
+		case OpenVar:
+			if !vars.Contains(sym.Var) || state[sym.Var] != waiting {
+				return false
+			}
+			state[sym.Var] = open
+		case CloseVar:
+			if !vars.Contains(sym.Var) || state[sym.Var] != open {
+				return false
+			}
+			state[sym.Var] = closed
+		}
+	}
+	for _, x := range vars {
+		if state[x] != closed {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple interprets a valid ref-word as the (V,s)-tuple µ_w over vars, where
+// s = w.Clr(). For each x with factorization w = w′ · x⊢ · w_x · ⊣x · w″ the
+// span is [i, j⟩ with i = |clr(w′)|+1 and j = i + |clr(w_x)|.
+// It returns an error if w is not valid for vars.
+func (w Word) Tuple(vars span.VarList) (span.Tuple, error) {
+	if !w.Valid(vars) {
+		return nil, fmt.Errorf("refword: %v is not valid for %v", w, vars)
+	}
+	t := make(span.Tuple, len(vars))
+	pos := 1 // 1-based position of the next terminal
+	for _, sym := range w {
+		switch sym.Op {
+		case Terminal:
+			pos++
+		case OpenVar:
+			t[vars.Index(sym.Var)].Start = pos
+		case CloseVar:
+			t[vars.Index(sym.Var)].End = pos
+		}
+	}
+	return t, nil
+}
+
+// String renders the ref-word with ⊢ and ⊣ markers, e.g. "c x⊢ oo ⊣x kie".
+func (w Word) String() string {
+	var sb strings.Builder
+	for _, sym := range w {
+		switch sym.Op {
+		case Terminal:
+			sb.WriteByte(sym.Byte)
+		case OpenVar:
+			sb.WriteString(sym.Var + "⊢")
+		case CloseVar:
+			sb.WriteString("⊣" + sym.Var)
+		}
+	}
+	return sb.String()
+}
+
+// FromTuple builds a canonical valid ref-word for the given string and
+// tuple: at every boundary position, closing symbols are emitted before
+// opening symbols, each group in variable order. This is the inverse
+// direction of Tuple (up to reordering of operations at equal boundaries).
+func FromTuple(s string, vars span.VarList, t span.Tuple) Word {
+	var w Word
+	for pos := 1; pos <= len(s)+1; pos++ {
+		for i, x := range vars {
+			if t[i].End == pos && t[i].Start != pos {
+				w = append(w, Close(x))
+			}
+		}
+		// Empty spans open and close at the same boundary; emit the pair
+		// adjacently so the word stays valid.
+		for i, x := range vars {
+			if t[i].Start == pos {
+				w = append(w, Open(x))
+				if t[i].End == pos {
+					w = append(w, Close(x))
+				}
+			}
+		}
+		if pos <= len(s) {
+			w = append(w, T(s[pos-1]))
+		}
+	}
+	return w
+}
+
+// Interleavings returns every valid ref-word for (s, vars, t): all orderings
+// of the variable operations that share a boundary position, subject to an
+// open preceding its own close. The count is bounded by ∏(ops at a
+// boundary)!, so this is exponential in |vars| and intended only for small
+// oracle computations in tests.
+func Interleavings(s string, vars span.VarList, t span.Tuple) []Word {
+	type bucket struct {
+		syms []Sym
+	}
+	buckets := make([]bucket, len(s)+2) // boundaries 1..len(s)+1
+	for i, x := range vars {
+		buckets[t[i].Start].syms = append(buckets[t[i].Start].syms, Open(x))
+		buckets[t[i].End].syms = append(buckets[t[i].End].syms, Close(x))
+	}
+	results := []Word{{}}
+	for pos := 1; pos <= len(s)+1; pos++ {
+		perms := validPerms(buckets[pos].syms, vars)
+		var next []Word
+		for _, prefix := range results {
+			for _, perm := range perms {
+				w := append(append(Word(nil), prefix...), perm...)
+				if pos <= len(s) {
+					w = append(w, T(s[pos-1]))
+				}
+				next = append(next, w)
+			}
+		}
+		results = next
+	}
+	return results
+}
+
+// validPerms enumerates the permutations of syms in which no ⊣x precedes its
+// matching x⊢.
+func validPerms(syms []Sym, vars span.VarList) [][]Sym {
+	if len(syms) == 0 {
+		return [][]Sym{nil}
+	}
+	var out [][]Sym
+	var cur []Sym
+	used := make([]bool, len(syms))
+	var rec func()
+	rec = func() {
+		if len(cur) == len(syms) {
+			if opsOrdered(cur) {
+				out = append(out, append([]Sym(nil), cur...))
+			}
+			return
+		}
+		for i, s := range syms {
+			if used[i] {
+				continue
+			}
+			// Skip duplicate symbols to avoid emitting identical permutations.
+			dup := false
+			for j := 0; j < i; j++ {
+				if !used[j] && syms[j] == s {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			used[i] = true
+			cur = append(cur, s)
+			rec()
+			cur = cur[:len(cur)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return out
+}
+
+func opsOrdered(syms []Sym) bool {
+	opened := make(map[string]bool)
+	for _, s := range syms {
+		switch s.Op {
+		case OpenVar:
+			opened[s.Var] = true
+		case CloseVar:
+			if !opened[s.Var] {
+				// The close belongs to an open at an earlier boundary, or
+				// the pair is mis-ordered within this boundary. Both opens
+				// and closes land in the same bucket only for empty spans,
+				// so a close without a prior open in this bucket is only
+				// legal if the variable's open is NOT in this bucket at all.
+				// Callers pass buckets where both are present iff the span
+				// is empty, so reject.
+				if containsOpen(syms, s.Var) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func containsOpen(syms []Sym, x string) bool {
+	for _, s := range syms {
+		if s.Op == OpenVar && s.Var == x {
+			return true
+		}
+	}
+	return false
+}

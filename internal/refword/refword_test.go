@@ -1,0 +1,190 @@
+package refword
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/span"
+)
+
+func w(syms ...Sym) Word { return Word(syms) }
+
+func lit(s string) []Sym {
+	var out []Sym
+	for i := 0; i < len(s); i++ {
+		out = append(out, T(s[i]))
+	}
+	return out
+}
+
+func concat(parts ...[]Sym) Word {
+	var out Word
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// TestExample22 reproduces Example 2.2: validity of r1..r4 for V = {x}.
+func TestExample22(t *testing.T) {
+	V := span.NewVarList("x")
+	r1 := concat(lit("c"), []Sym{Open("x")}, lit("oo"), []Sym{Close("x")}, lit("ie"))
+	r2 := w(Open("x"), Close("x"))
+	r3 := w(Close("x"), Open("x"))
+	r4 := w(Open("x"), T('a'), Close("x"), Open("x"), T('a'), Close("x"))
+	if !r1.Valid(V) {
+		t.Error("r1 should be valid")
+	}
+	if !r2.Valid(V) {
+		t.Error("r2 should be valid")
+	}
+	if r3.Valid(V) {
+		t.Error("r3 (close before open) should be invalid")
+	}
+	if r4.Valid(V) {
+		t.Error("r4 (double binding) should be invalid")
+	}
+	// r1, r2 are not valid for V' ⊃ V: all variables must be bound.
+	V2 := span.NewVarList("x", "y")
+	if r1.Valid(V2) || r2.Valid(V2) {
+		t.Error("valid-for must require every variable of V' to be bound")
+	}
+}
+
+// TestExample23 reproduces Example 2.3: ref-words over s = cookie.
+func TestExample23(t *testing.T) {
+	V := span.NewVarList("x")
+	r1 := concat(lit("c"), []Sym{Open("x")}, lit("oo"), []Sym{Close("x")}, lit("kie"))
+	r2 := concat(lit("cookie"), []Sym{Open("x"), Close("x")})
+	for _, r := range []Word{r1, r2} {
+		if got := r.Clr(); got != "cookie" {
+			t.Errorf("clr = %q, want cookie", got)
+		}
+	}
+	t1, err := r1.Tuple(V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1[0] != (span.Span{Start: 2, End: 4}) {
+		t.Errorf("µ_r1(x) = %v, want [2,4⟩", t1[0])
+	}
+	t2, err := r2.Tuple(V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2[0] != (span.Span{Start: 7, End: 7}) {
+		t.Errorf("µ_r2(x) = %v, want [7,7⟩", t2[0])
+	}
+}
+
+func TestClrOnTerminalsOnly(t *testing.T) {
+	if got := FromString("abc").Clr(); got != "abc" {
+		t.Errorf("Clr = %q", got)
+	}
+	if got := (Word{}).Clr(); got != "" {
+		t.Errorf("Clr of empty = %q", got)
+	}
+}
+
+func TestTupleRejectsInvalid(t *testing.T) {
+	V := span.NewVarList("x")
+	if _, err := w(Open("x")).Tuple(V); err == nil {
+		t.Error("unclosed variable must be rejected")
+	}
+	if _, err := (Word{}).Tuple(V); err == nil {
+		t.Error("unbound variable must be rejected")
+	}
+	if _, err := w(Open("y"), Close("y")).Tuple(V); err == nil {
+		t.Error("foreign variable must be rejected")
+	}
+}
+
+func TestFromTupleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	vars := span.NewVarList("x", "y", "z")
+	for i := 0; i < 500; i++ {
+		n := r.Intn(6)
+		s := randString(r, n)
+		tu := make(span.Tuple, len(vars))
+		for j := range tu {
+			a := r.Intn(n+1) + 1
+			tu[j] = span.Span{Start: a, End: a + r.Intn(n+2-a)}
+		}
+		word := FromTuple(s, vars, tu)
+		if !word.Valid(vars) {
+			t.Fatalf("FromTuple produced invalid word %v for %v on %q", word, tu, s)
+		}
+		if word.Clr() != s {
+			t.Fatalf("clr mismatch: %q vs %q", word.Clr(), s)
+		}
+		back, err := word.Tuple(vars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Compare(tu) != 0 {
+			t.Fatalf("round trip: got %v, want %v (word %v)", back, tu, word)
+		}
+	}
+}
+
+func TestInterleavingsAllValidAndSameTuple(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	vars := span.NewVarList("x", "y")
+	for i := 0; i < 300; i++ {
+		n := r.Intn(4)
+		s := randString(r, n)
+		tu := make(span.Tuple, len(vars))
+		for j := range tu {
+			a := r.Intn(n+1) + 1
+			tu[j] = span.Span{Start: a, End: a + r.Intn(n+2-a)}
+		}
+		words := Interleavings(s, vars, tu)
+		if len(words) == 0 {
+			t.Fatalf("no interleavings for %v on %q", tu, s)
+		}
+		seen := map[string]bool{}
+		for _, word := range words {
+			if !word.Valid(vars) {
+				t.Fatalf("invalid interleaving %v for %v on %q", word, tu, s)
+			}
+			back, err := word.Tuple(vars)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Compare(tu) != 0 {
+				t.Fatalf("interleaving %v decodes to %v, want %v", word, back, tu)
+			}
+			if seen[word.String()] {
+				t.Fatalf("duplicate interleaving %v", word)
+			}
+			seen[word.String()] = true
+		}
+	}
+}
+
+func TestInterleavingsCount(t *testing.T) {
+	// Two variables, both spanning [1,1⟩ on ε: the ops x⊢⊣x and y⊢⊣y can
+	// interleave as xy, yx, and the two nestings — but x must open before
+	// closing. Orderings of {x⊢,⊣x,y⊢,⊣y} with x⊢<⊣x and y⊢<⊣y: 4!/(2·2)=6.
+	vars := span.NewVarList("x", "y")
+	tu := span.Tuple{{Start: 1, End: 1}, {Start: 1, End: 1}}
+	words := Interleavings("", vars, tu)
+	if len(words) != 6 {
+		t.Fatalf("got %d interleavings, want 6", len(words))
+	}
+}
+
+func TestWordString(t *testing.T) {
+	word := concat([]Sym{Open("x")}, lit("ab"), []Sym{Close("x")})
+	if got := word.String(); got != "x⊢ab⊣x" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func randString(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(2))
+	}
+	return string(b)
+}

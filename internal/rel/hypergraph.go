@@ -1,0 +1,261 @@
+package rel
+
+import (
+	"spanjoin/internal/span"
+)
+
+// Hypergraph is the query hypergraph of a CQ: one (hyper)edge per atom,
+// holding the atom's variable set (§2.3).
+type Hypergraph struct {
+	Edges []span.VarList
+}
+
+// JoinTree is the result of a successful GYO reduction: a rooted join tree
+// over the atom indices.
+type JoinTree struct {
+	// Parent[i] is the parent atom of atom i, or -1 for the root.
+	Parent []int
+	// Order lists non-root atoms in ear-removal order (leaves towards the
+	// root): processing Order forward gives a valid bottom-up pass.
+	Order []int
+	// Root is the root atom index.
+	Root int
+}
+
+// IsAcyclic tests alpha-acyclicity with the GYO ear-removal algorithm and,
+// on success, returns a join tree. An edge E is an ear with witness F ≠ E
+// when every vertex of E is either exclusive to E or contained in F.
+func (h *Hypergraph) IsAcyclic() (*JoinTree, bool) {
+	n := len(h.Edges)
+	if n == 0 {
+		return &JoinTree{Root: -1}, true
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var order []int
+	remaining := n
+	for remaining > 1 {
+		removed := false
+		for e := 0; e < n && !removed; e++ {
+			if !alive[e] {
+				continue
+			}
+			for f := 0; f < n; f++ {
+				if f == e || !alive[f] {
+					continue
+				}
+				if isEar(h, e, f, alive) {
+					alive[e] = false
+					parent[e] = f
+					order = append(order, e)
+					remaining--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return nil, false
+		}
+	}
+	root := -1
+	for i := range alive {
+		if alive[i] {
+			root = i
+		}
+	}
+	return &JoinTree{Parent: parent, Order: order, Root: root}, true
+}
+
+// isEar reports whether edge e is an ear with witness f: every vertex of e
+// occurs only in e (among alive edges) or belongs to f.
+func isEar(h *Hypergraph, e, f int, alive []bool) bool {
+	for _, v := range h.Edges[e] {
+		if h.Edges[f].Contains(v) {
+			continue
+		}
+		for g := range h.Edges {
+			if g != e && alive[g] && h.Edges[g].Contains(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsGammaAcyclic tests gamma-acyclicity by searching for a gamma-cycle
+// (Fagin 1983): a sequence (S₁, x₁, S₂, x₂, …, S_m, x_m, S₁) with m ≥ 3,
+// distinct edges S_i and distinct vertices x_i such that x_i ∈ S_i ∩ S_{i+1},
+// and for i < m, x_i belongs to no other edge of the sequence. Gamma-acyclic
+// hypergraphs are exactly those with no gamma-cycle; the class is strictly
+// inside the alpha-acyclic one (§2.3).
+//
+// The search is exponential in the number of edges and meant for
+// query-sized hypergraphs (the paper's CQs), not data.
+func (h *Hypergraph) IsGammaAcyclic() bool {
+	n := len(h.Edges)
+	if n < 3 {
+		return true
+	}
+	// Enumerate simple cycles of edges with distinct connecting vertices.
+	var seqEdges []int
+	var seqVars []string
+	usedEdge := make([]bool, n)
+	usedVar := map[string]bool{}
+
+	var found bool
+	var dfs func(cur int, start int)
+	checkCycle := func(start int) bool {
+		m := len(seqEdges)
+		if m < 3 {
+			return false
+		}
+		// Closing vertex x_m ∈ S_m ∩ S_1, distinct from the others; x_m may
+		// lie in other edges of the sequence.
+		for _, xm := range h.Edges[seqEdges[m-1]].Intersect(h.Edges[start]) {
+			if usedVar[xm] {
+				continue
+			}
+			// Verify the side condition for x_1..x_{m-1}.
+			ok := true
+			for i := 0; i < m-1 && ok; i++ {
+				for j := 0; j < m; j++ {
+					if j == i || j == i+1 {
+						continue
+					}
+					if h.Edges[seqEdges[j]].Contains(seqVars[i]) {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	dfs = func(cur, start int) {
+		if found {
+			return
+		}
+		if checkCycle(start) {
+			found = true
+			return
+		}
+		for next := 0; next < n; next++ {
+			if usedEdge[next] {
+				continue
+			}
+			for _, x := range h.Edges[cur].Intersect(h.Edges[next]) {
+				if usedVar[x] {
+					continue
+				}
+				usedEdge[next] = true
+				usedVar[x] = true
+				seqEdges = append(seqEdges, next)
+				seqVars = append(seqVars, x)
+				dfs(next, start)
+				seqEdges = seqEdges[:len(seqEdges)-1]
+				seqVars = seqVars[:len(seqVars)-1]
+				usedEdge[next] = false
+				usedVar[x] = false
+				if found {
+					return
+				}
+			}
+		}
+	}
+	for start := 0; start < n && !found; start++ {
+		usedEdge[start] = true
+		seqEdges = append(seqEdges, start)
+		dfs(start, start)
+		seqEdges = seqEdges[:0]
+		usedEdge[start] = false
+	}
+	return !found
+}
+
+// Yannakakis evaluates an acyclic join with full semijoin reduction and
+// bottom-up joins, projecting the final result onto output (Yannakakis
+// 1981, the tractable case of §3.2). rels[i] must be the relation of atom i.
+func Yannakakis(tree *JoinTree, rels []*Relation, output span.VarList) *Relation {
+	if tree.Root < 0 {
+		return NewRelation(output)
+	}
+	work := make([]*Relation, len(rels))
+	copy(work, rels)
+
+	// Bottom-up semijoin pass (leaves toward root).
+	for _, e := range tree.Order {
+		p := tree.Parent[e]
+		work[p] = SemiJoin(work[p], work[e])
+	}
+	// Top-down semijoin pass (root toward leaves).
+	for i := len(tree.Order) - 1; i >= 0; i-- {
+		e := tree.Order[i]
+		p := tree.Parent[e]
+		work[e] = SemiJoin(work[e], work[p])
+	}
+	// Bottom-up joins, carrying only output variables upward.
+	for _, e := range tree.Order {
+		p := tree.Parent[e]
+		joined := Join(work[p], work[e])
+		keep := work[p].Vars.Union(joined.Vars.Intersect(output))
+		work[p] = joined.Project(keep)
+	}
+	return work[tree.Root].Project(output)
+}
+
+// YannakakisBoolean decides non-emptiness of the acyclic join with the
+// bottom-up semijoin pass only — polynomial total time (linear in the sum
+// of relation sizes up to hashing).
+func YannakakisBoolean(tree *JoinTree, rels []*Relation) bool {
+	if tree.Root < 0 {
+		return true
+	}
+	work := make([]*Relation, len(rels))
+	copy(work, rels)
+	for _, e := range tree.Order {
+		p := tree.Parent[e]
+		work[p] = SemiJoin(work[p], work[e])
+	}
+	return !work[tree.Root].IsEmpty()
+}
+
+// JoinAllGreedy joins the relations smallest-first — the fallback plan for
+// cyclic CQs (worst-case exponential, as Thm 3.1/3.2 say is unavoidable).
+func JoinAllGreedy(rels []*Relation) *Relation {
+	if len(rels) == 0 {
+		return NewRelation(nil)
+	}
+	work := append([]*Relation(nil), rels...)
+	for len(work) > 1 {
+		// Pick the pair with the smallest estimated output (|r|·|o|).
+		bi, bj := 0, 1
+		best := -1
+		for i := 0; i < len(work); i++ {
+			for j := i + 1; j < len(work); j++ {
+				est := work[i].Len() * work[j].Len()
+				// Prefer joins that share variables (selective).
+				if len(work[i].Vars.Intersect(work[j].Vars)) == 0 {
+					est = est*4 + 1
+				}
+				if best < 0 || est < best {
+					best, bi, bj = est, i, j
+				}
+			}
+		}
+		joined := Join(work[bi], work[bj])
+		work[bj] = work[len(work)-1]
+		work = work[:len(work)-1]
+		work[bi] = joined
+	}
+	return work[0]
+}

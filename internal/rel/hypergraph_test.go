@@ -1,0 +1,138 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/span"
+)
+
+func hg(edges ...[]string) *Hypergraph {
+	h := &Hypergraph{}
+	for _, e := range edges {
+		h.Edges = append(h.Edges, span.NewVarList(e...))
+	}
+	return h
+}
+
+func TestAcyclicityClassics(t *testing.T) {
+	cases := []struct {
+		name  string
+		h     *Hypergraph
+		alpha bool
+		gamma bool
+	}{
+		{"single edge", hg([]string{"x", "y"}), true, true},
+		{"chain", hg([]string{"x", "y"}, []string{"y", "z"}, []string{"z", "w"}), true, true},
+		{"star", hg([]string{"x", "a"}, []string{"x", "b"}, []string{"x", "c"}), true, true},
+		{"triangle", hg([]string{"x", "y"}, []string{"y", "z"}, []string{"z", "x"}), false, false},
+		// Alpha-acyclic but gamma-cyclic: {ab, bc, abc}.
+		{"covered triangle edge", hg([]string{"a", "b"}, []string{"b", "c"}, []string{"a", "b", "c"}), true, false},
+		// Covered full triangle: alpha-acyclic, gamma-cyclic.
+		{"covered triangle", hg([]string{"x", "y"}, []string{"y", "z"}, []string{"z", "x"}, []string{"x", "y", "z"}), true, false},
+		{"duplicate edges", hg([]string{"x", "y"}, []string{"x", "y"}), true, true},
+		{"disconnected", hg([]string{"x", "y"}, []string{"a", "b"}), true, true},
+		{"empty", hg(), true, true},
+		// 4-cycle: alpha-cyclic.
+		{"square", hg([]string{"a", "b"}, []string{"b", "c"}, []string{"c", "d"}, []string{"d", "a"}), false, false},
+	}
+	for _, tc := range cases {
+		_, alpha := tc.h.IsAcyclic()
+		if alpha != tc.alpha {
+			t.Errorf("%s: IsAcyclic = %v, want %v", tc.name, alpha, tc.alpha)
+		}
+		if gamma := tc.h.IsGammaAcyclic(); gamma != tc.gamma {
+			t.Errorf("%s: IsGammaAcyclic = %v, want %v", tc.name, gamma, tc.gamma)
+		}
+		if tc.gamma && !tc.alpha {
+			t.Errorf("%s: gamma-acyclic must imply alpha-acyclic", tc.name)
+		}
+	}
+}
+
+func TestJoinTreeStructure(t *testing.T) {
+	h := hg([]string{"x", "y"}, []string{"y", "z"}, []string{"z", "w"})
+	tree, ok := h.IsAcyclic()
+	if !ok {
+		t.Fatal("chain should be acyclic")
+	}
+	if len(tree.Order) != 2 {
+		t.Fatalf("order has %d entries, want 2", len(tree.Order))
+	}
+	// Every non-root node must have a parent sharing its connecting vars.
+	for _, e := range tree.Order {
+		p := tree.Parent[e]
+		if p < 0 {
+			t.Fatalf("ordered node %d has no parent", e)
+		}
+	}
+}
+
+// yannakakisCase builds a chain R1(x,y) ⋈ R2(y,z) ⋈ R3(z,w) with random
+// data and compares Yannakakis against the greedy join.
+func TestYannakakisAgainstGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	h := hg([]string{"x", "y"}, []string{"y", "z"}, []string{"z", "w"})
+	tree, ok := h.IsAcyclic()
+	if !ok {
+		t.Fatal("chain should be acyclic")
+	}
+	for trial := 0; trial < 30; trial++ {
+		rels := make([]*Relation, 3)
+		for i, vs := range h.Edges {
+			rels[i] = NewRelation(vs)
+			for k := 0; k < r.Intn(15)+1; k++ {
+				rels[i].Add(span.Tuple{sp(r.Intn(4)+1, 5), sp(r.Intn(4)+1, 5)})
+			}
+		}
+		for _, output := range []span.VarList{
+			span.NewVarList("x", "y", "z", "w"),
+			span.NewVarList("x", "w"),
+			span.NewVarList("y"),
+			nil,
+		} {
+			got := Yannakakis(tree, rels, output)
+			want := JoinAllGreedy(rels).Project(output)
+			if got.Len() != want.Len() {
+				t.Fatalf("output %v: yannakakis %d tuples, greedy %d", output, got.Len(), want.Len())
+			}
+			for _, tu := range want.Tuples {
+				if !got.Contains(tu) {
+					t.Fatalf("output %v: missing tuple %v", output, tu)
+				}
+			}
+		}
+		// Boolean agreement.
+		full := JoinAllGreedy(rels)
+		if YannakakisBoolean(tree, rels) != !full.IsEmpty() {
+			t.Fatal("Boolean Yannakakis disagrees with full join")
+		}
+	}
+}
+
+func TestYannakakisStarQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	h := hg([]string{"x", "a"}, []string{"x", "b"}, []string{"x", "c"})
+	tree, ok := h.IsAcyclic()
+	if !ok {
+		t.Fatal("star should be acyclic")
+	}
+	rels := make([]*Relation, 3)
+	for i, vs := range h.Edges {
+		rels[i] = NewRelation(vs)
+		for k := 0; k < 10; k++ {
+			rels[i].Add(span.Tuple{sp(r.Intn(3)+1, 5), sp(r.Intn(3)+1, 5)})
+		}
+	}
+	got := Yannakakis(tree, rels, span.NewVarList("a", "b", "c"))
+	want := JoinAllGreedy(rels).Project(span.NewVarList("a", "b", "c"))
+	if got.Len() != want.Len() {
+		t.Fatalf("star query: %d vs %d", got.Len(), want.Len())
+	}
+}
+
+func TestGreedyJoinEmptyInput(t *testing.T) {
+	if r := JoinAllGreedy(nil); r.Len() != 0 {
+		t.Error("empty join list should give empty boolean relation")
+	}
+}

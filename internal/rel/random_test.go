@@ -1,0 +1,169 @@
+package rel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/span"
+)
+
+// randomAcyclicHypergraph builds a random join tree and returns its
+// hypergraph: node 0 is the root; every other node shares at least one
+// variable with its parent.
+func randomAcyclicHypergraph(r *rand.Rand, atoms int) *Hypergraph {
+	h := &Hypergraph{}
+	varID := 0
+	fresh := func() string { varID++; return fmt.Sprintf("v%d", varID) }
+	// Root edge with 1-2 variables.
+	root := []string{fresh()}
+	if r.Intn(2) == 0 {
+		root = append(root, fresh())
+	}
+	h.Edges = append(h.Edges, span.NewVarList(root...))
+	for i := 1; i < atoms; i++ {
+		parent := h.Edges[r.Intn(len(h.Edges))]
+		shared := parent[r.Intn(len(parent))]
+		vars := []string{shared}
+		for k := r.Intn(2); k > 0; k-- {
+			vars = append(vars, fresh())
+		}
+		h.Edges = append(h.Edges, span.NewVarList(vars...))
+	}
+	return h
+}
+
+func randomRelations(r *rand.Rand, h *Hypergraph, maxTuples int) []*Relation {
+	rels := make([]*Relation, len(h.Edges))
+	for i, vars := range h.Edges {
+		rels[i] = NewRelation(vars)
+		for k := 0; k < r.Intn(maxTuples)+1; k++ {
+			tu := make(span.Tuple, len(vars))
+			for j := range tu {
+				a := r.Intn(3) + 1
+				tu[j] = span.Span{Start: a, End: a + r.Intn(3)}
+			}
+			rels[i].Add(tu)
+		}
+	}
+	return rels
+}
+
+// TestRandomAcyclicYannakakis: on random join trees with random data,
+// Yannakakis must agree with greedy hash joins for every projection.
+func TestRandomAcyclicYannakakis(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 120; trial++ {
+		h := randomAcyclicHypergraph(r, r.Intn(5)+1)
+		tree, ok := h.IsAcyclic()
+		if !ok {
+			t.Fatalf("trial %d: constructed hypergraph not recognized as acyclic: %v", trial, h.Edges)
+		}
+		rels := randomRelations(r, h, 12)
+		// All variables.
+		var all span.VarList
+		for _, e := range h.Edges {
+			all = all.Union(e)
+		}
+		outputs := []span.VarList{all, nil}
+		if len(all) > 1 {
+			outputs = append(outputs, span.NewVarList(all[0], all[len(all)-1]))
+		}
+		want := JoinAllGreedy(rels)
+		for _, out := range outputs {
+			got := Yannakakis(tree, rels, out)
+			ref := want.Project(out)
+			if got.Len() != ref.Len() {
+				t.Fatalf("trial %d output %v: yannakakis %d vs greedy %d (edges %v)",
+					trial, out, got.Len(), ref.Len(), h.Edges)
+			}
+			for _, tu := range ref.Tuples {
+				if !got.Contains(tu) {
+					t.Fatalf("trial %d: missing %v", trial, tu)
+				}
+			}
+		}
+		if YannakakisBoolean(tree, rels) != !want.IsEmpty() {
+			t.Fatalf("trial %d: boolean disagreement", trial)
+		}
+	}
+}
+
+// TestRandomHypergraphAcyclicityInvariants: gamma-acyclic ⇒ alpha-acyclic
+// on random hypergraphs, and duplicating an edge never changes either.
+func TestRandomHypergraphAcyclicityInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(607))
+	names := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 300; trial++ {
+		h := &Hypergraph{}
+		atoms := r.Intn(4) + 1
+		for i := 0; i < atoms; i++ {
+			k := r.Intn(3) + 1
+			var vs []string
+			for j := 0; j < k; j++ {
+				vs = append(vs, names[r.Intn(len(names))])
+			}
+			h.Edges = append(h.Edges, span.NewVarList(vs...))
+		}
+		_, alpha := h.IsAcyclic()
+		gamma := h.IsGammaAcyclic()
+		if gamma && !alpha {
+			t.Fatalf("trial %d: gamma-acyclic but alpha-cyclic: %v", trial, h.Edges)
+		}
+		// Duplicate an edge: acyclicity class must not change.
+		dup := &Hypergraph{Edges: append(append([]span.VarList{}, h.Edges...), h.Edges[0])}
+		_, alpha2 := dup.IsAcyclic()
+		gamma2 := dup.IsGammaAcyclic()
+		if alpha != alpha2 || gamma != gamma2 {
+			t.Fatalf("trial %d: duplicating an edge changed acyclicity (%v/%v -> %v/%v): %v",
+				trial, alpha, gamma, alpha2, gamma2, h.Edges)
+		}
+	}
+}
+
+// TestSemiJoinProperties: r ⋉ o ⊆ r; idempotent; empty o empties r when
+// schemas intersect... and keeps r when they don't (cartesian semantics).
+func TestSemiJoinProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(608))
+	for trial := 0; trial < 100; trial++ {
+		a := NewRelation(span.NewVarList("x", "y"))
+		b := NewRelation(span.NewVarList("y", "z"))
+		for i := 0; i < r.Intn(10); i++ {
+			a.Add(span.Tuple{sp(r.Intn(3)+1, 4), sp(r.Intn(3)+1, 4)})
+		}
+		for i := 0; i < r.Intn(10); i++ {
+			b.Add(span.Tuple{sp(r.Intn(3)+1, 4), sp(r.Intn(3)+1, 4)})
+		}
+		sj := SemiJoin(a, b)
+		if sj.Len() > a.Len() {
+			t.Fatal("semijoin grew")
+		}
+		for _, tu := range sj.Tuples {
+			if !a.Contains(tu) {
+				t.Fatal("semijoin invented a tuple")
+			}
+		}
+		if SemiJoin(sj, b).Len() != sj.Len() {
+			t.Fatal("semijoin not idempotent")
+		}
+		// Agreement with join-then-project.
+		jp := Join(a, b).Project(a.Vars)
+		if jp.Len() != sj.Len() {
+			t.Fatalf("semijoin %d != π(join) %d", sj.Len(), jp.Len())
+		}
+	}
+}
+
+// TestSemiJoinDisjointSchemas: with no shared variables, r ⋉ o is r if o is
+// nonempty and ∅ if o is empty.
+func TestSemiJoinDisjointSchemas(t *testing.T) {
+	a := FromTuples(span.NewVarList("x"), []span.Tuple{{sp(1, 2)}, {sp(2, 3)}})
+	nonempty := FromTuples(span.NewVarList("z"), []span.Tuple{{sp(1, 1)}})
+	empty := NewRelation(span.NewVarList("z"))
+	if SemiJoin(a, nonempty).Len() != 2 {
+		t.Error("semijoin with nonempty disjoint relation should keep everything")
+	}
+	if SemiJoin(a, empty).Len() != 0 {
+		t.Error("semijoin with empty relation should drop everything")
+	}
+}

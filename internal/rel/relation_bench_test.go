@@ -1,0 +1,44 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/span"
+)
+
+func benchRelations(n int) (*Relation, *Relation) {
+	r := rand.New(rand.NewSource(1))
+	a := NewRelation(span.NewVarList("x", "y"))
+	b := NewRelation(span.NewVarList("y", "z"))
+	for i := 0; i < n; i++ {
+		a.Add(span.Tuple{sp(r.Intn(50)+1, 60), sp(r.Intn(50)+1, 60)})
+		b.Add(span.Tuple{sp(r.Intn(50)+1, 60), sp(r.Intn(50)+1, 60)})
+	}
+	return a, b
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	x, y := benchRelations(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(x, y)
+	}
+}
+
+func BenchmarkSemiJoin(b *testing.B) {
+	x, y := benchRelations(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SemiJoin(x, y)
+	}
+}
+
+func BenchmarkProjectDedup(b *testing.B) {
+	x, _ := benchRelations(1000)
+	keep := span.NewVarList("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Project(keep)
+	}
+}

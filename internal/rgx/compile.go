@@ -1,0 +1,111 @@
+package rgx
+
+import (
+	"spanjoin/internal/vsa"
+)
+
+// Compile converts a functional regex formula into an equivalent functional
+// vset-automaton in O(|α|) time (Lemma 3.4). The construction is Thompson's,
+// operating on the ref-word alphabet: a capture x{β} compiles into an
+// x⊢-transition, the fragment for β, and a ⊣x-transition.
+//
+// Compile returns a *FunctionalityError if the formula is not functional,
+// mirroring the paper's convention that regex formulas are functional.
+func Compile(f *Formula) (*vsa.VSA, error) {
+	if err := f.CheckFunctional(); err != nil {
+		return nil, err
+	}
+	root := SimplifyEmpty(f.Root)
+	a := vsa.New(f.Vars)
+	if isEmptyNode(root) {
+		return a, nil // no transitions: R(A) = ∅
+	}
+	c := compiler{a: a}
+	s, e := c.frag(root)
+	a.AddEps(a.Init, s)
+	a.AddEps(e, a.Final)
+	return a, nil
+}
+
+// CompilePattern parses and compiles a pattern in one step.
+func CompilePattern(pattern string) (*vsa.VSA, error) {
+	f, err := Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(f)
+}
+
+// MustCompilePattern panics on error; for statically known patterns.
+func MustCompilePattern(pattern string) *vsa.VSA {
+	a, err := CompilePattern(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type compiler struct {
+	a *vsa.VSA
+}
+
+// frag compiles a node into a fragment with a single entry and exit state.
+func (c *compiler) frag(n Node) (start, end int32) {
+	a := c.a
+	switch t := n.(type) {
+	case Epsilon:
+		s, e := a.AddState(), a.AddState()
+		a.AddEps(s, e)
+		return s, e
+	case Class:
+		s, e := a.AddState(), a.AddState()
+		a.AddChar(s, t.C, e)
+		return s, e
+	case Concat:
+		start, end = c.frag(t.Subs[0])
+		for _, sub := range t.Subs[1:] {
+			s2, e2 := c.frag(sub)
+			a.AddEps(end, s2)
+			end = e2
+		}
+		return start, end
+	case Alt:
+		s, e := a.AddState(), a.AddState()
+		for _, sub := range t.Subs {
+			bs, be := c.frag(sub)
+			a.AddEps(s, bs)
+			a.AddEps(be, e)
+		}
+		return s, e
+	case Star:
+		s, e := a.AddState(), a.AddState()
+		bs, be := c.frag(t.Sub)
+		a.AddEps(s, bs)
+		a.AddEps(be, e)
+		a.AddEps(s, e)
+		a.AddEps(be, bs)
+		return s, e
+	case Plus:
+		s, e := a.AddState(), a.AddState()
+		bs, be := c.frag(t.Sub)
+		a.AddEps(s, bs)
+		a.AddEps(be, e)
+		a.AddEps(be, bs)
+		return s, e
+	case Opt:
+		s, e := a.AddState(), a.AddState()
+		bs, be := c.frag(t.Sub)
+		a.AddEps(s, bs)
+		a.AddEps(be, e)
+		a.AddEps(s, e)
+		return s, e
+	case Capture:
+		s, e := a.AddState(), a.AddState()
+		bs, be := c.frag(t.Sub)
+		v := a.VarIndex(t.Var)
+		a.AddOpen(s, v, bs)
+		a.AddClose(be, v, e)
+		return s, e
+	}
+	panic("rgx: SimplifyEmpty left an unexpected node")
+}

@@ -1,0 +1,115 @@
+package rgx
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestExample25Functional reproduces Example 2.5: the two formulas of the
+// example are functional, x{a}x{a} and x{a}|y{a} are not.
+func TestExample25Functional(t *testing.T) {
+	functional := []string{
+		".*(x{foo}.*y{bar}|y{bar}.*x{foo}).*",
+		`.*mail{user{[a-z]*}@domain{[a-z]*\.[a-z]*}}.*`,
+		"x{a}",
+		"a*x{a*}a*",
+		"x{}",     // empty span capture
+		"x{y{}}a", // nested captures
+	}
+	for _, pattern := range functional {
+		if err := MustParse(pattern).CheckFunctional(); err != nil {
+			t.Errorf("%q should be functional: %v", pattern, err)
+		}
+	}
+	nonFunctional := []string{
+		"x{a}x{a}",            // double binding
+		"x{a}|y{a}",           // branches bind different variables
+		"(x{a})*",             // binding under star
+		"(x{a})+",             // binding under plus
+		"(x{a})?",             // binding under opt
+		"x{x{a}}",             // variable nested in itself
+		"x{a}|",               // ε branch misses x
+		"x{a}(y{b}|y{c}x{d})", // x doubly bound in one combination
+	}
+	for _, pattern := range nonFunctional {
+		err := MustParse(pattern).CheckFunctional()
+		if err == nil {
+			t.Errorf("%q should not be functional", pattern)
+			continue
+		}
+		var fe *FunctionalityError
+		if !errors.As(err, &fe) {
+			t.Errorf("%q: error is %T, want *FunctionalityError", pattern, err)
+		}
+	}
+}
+
+func TestFunctionalWithEmptySubformulas(t *testing.T) {
+	// ∅ branches generate no ref-words: ∅ ∨ x{a} is functional.
+	if err := MustParse("[]x{a}y{b}|x{a}").CheckFunctional(); err == nil {
+		t.Error("x ∨ dead-branch mentioning y: y occurs only in ∅-branch but formula also binds x alone... this case IS functional only when variables agree; here it must fail")
+	}
+	// Dead branch binding the same variable set: fine.
+	if err := MustParse("([]x{a})|x{b}").CheckFunctional(); err != nil {
+		t.Errorf("∅-branch should be ignored: %v", err)
+	}
+	// A variable that occurs only inside an ∅-subformula of a non-empty
+	// formula can never be bound: not functional.
+	if err := MustParse("a|[]y{b}").CheckFunctional(); err == nil {
+		t.Error("variable only in ∅-branch must make the formula non-functional")
+	}
+	// The wholly empty formula is vacuously functional.
+	if err := MustParse("[]x{a}").CheckFunctional(); err != nil {
+		t.Errorf("R(α)=∅ is vacuously functional: %v", err)
+	}
+}
+
+func TestSimplifyEmpty(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    string
+	}{
+		{"[]a", "[]"},
+		{"a[]|b", "b"},
+		{"[]*", "()"},
+		{"[]?", "()"},
+		{"[]+", "[]"},
+		{"x{[]}", "[]"},
+		{"a|[]", "a"},
+		{"(a[])|([]b)", "[]"},
+	}
+	for _, tc := range cases {
+		got := SimplifyEmpty(MustParse(tc.pattern).Root).String()
+		if got != tc.want {
+			t.Errorf("SimplifyEmpty(%q) = %q, want %q", tc.pattern, got, tc.want)
+		}
+	}
+}
+
+func TestCheckFunctionalLinearScaling(t *testing.T) {
+	// Sanity check of Thm 2.4's feasibility: a formula with many variables
+	// checks quickly and correctly.
+	pattern := ""
+	for i := 0; i < 50; i++ {
+		pattern += string(rune('a'+i%26)) + "v" + itoa(i) + "{a}"
+	}
+	f := MustParse(pattern)
+	if len(f.Vars) != 50 {
+		t.Fatalf("got %d vars", len(f.Vars))
+	}
+	if err := f.CheckFunctional(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,105 @@
+package rgx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParserNeverPanics: arbitrary byte soup must produce either a Formula
+// or a *ParseError — never a panic — and successful parses must round-trip
+// through String.
+func TestParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(123456))
+	alphabet := []byte(`ab.*+?|(){}[]\x{}-^0_ `)
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(20)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[r.Intn(len(alphabet))]
+		}
+		pattern := string(b)
+		f, err := Parse(pattern)
+		if err != nil {
+			var pe *ParseError
+			if !asParseError(err, &pe) {
+				t.Fatalf("Parse(%q): non-ParseError %T: %v", pattern, err, err)
+			}
+			continue
+		}
+		rendered := f.String()
+		f2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but re-parse of %q failed: %v", pattern, rendered, err)
+		}
+		if f2.String() != rendered {
+			t.Fatalf("unstable rendering: %q -> %q -> %q", pattern, rendered, f2.String())
+		}
+		if !f.Vars.Equal(f2.Vars) {
+			t.Fatalf("round trip changed variables: %v vs %v", f.Vars, f2.Vars)
+		}
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// TestQuickLiteralPatternsRoundTrip: any text built from non-special bytes
+// parses as a concatenation of literals matching exactly itself.
+func TestQuickLiteralPatternsRoundTrip(t *testing.T) {
+	safe := func(b byte) byte {
+		// Map into harmless literal space: lowercase letters and space.
+		return byte('a' + int(b)%26)
+	}
+	f := func(raw []byte) bool {
+		if len(raw) == 0 {
+			// The empty pattern is ε and renders as "()".
+			parsed, err := Parse("")
+			return err == nil && parsed.String() == "()"
+		}
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		lit := make([]byte, len(raw))
+		for i, b := range raw {
+			lit[i] = safe(b)
+		}
+		pattern := string(lit)
+		parsed, err := Parse(pattern)
+		if err != nil {
+			return false
+		}
+		// A literal pattern has no variables and renders to itself.
+		return len(parsed.Vars) == 0 && parsed.String() == pattern
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFunctionalityDecidable: CheckFunctional must terminate and be
+// consistent with compilation on arbitrary parses.
+func TestQuickFunctionalityDecidable(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	pieces := []string{"a", "b", "x{", "y{", "}", "|", "*", "(", ")", ".", ""}
+	for i := 0; i < 3000; i++ {
+		pattern := ""
+		for j := r.Intn(8); j > 0; j-- {
+			pattern += pieces[r.Intn(len(pieces))]
+		}
+		f, err := Parse(pattern)
+		if err != nil {
+			continue
+		}
+		funcErr := f.CheckFunctional()
+		_, compErr := Compile(f)
+		if (funcErr == nil) != (compErr == nil) {
+			t.Fatalf("CheckFunctional and Compile disagree on %q: %v vs %v", pattern, funcErr, compErr)
+		}
+	}
+}

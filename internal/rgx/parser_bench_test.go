@@ -1,0 +1,34 @@
+package rgx
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkParse(b *testing.B) {
+	pattern := `.*(sen{[A-Za-z0-9 ]+\.})( |mail{user{[a-z]+}@domain{[a-z]+\.[a-z]+}})+.*`
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLarge(b *testing.B) {
+	pattern := strings.Repeat("(a|b)*c", 200) + "x{a+}"
+	b.SetBytes(int64(len(pattern)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckFunctional(b *testing.B) {
+	f := MustParse(strings.Repeat("x{a}y{b}|y{b}x{a}", 1)) // small but branchy
+	for i := 0; i < b.N; i++ {
+		if err := f.CheckFunctional(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

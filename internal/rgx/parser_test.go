@@ -1,0 +1,154 @@
+package rgx
+
+import (
+	"strings"
+	"testing"
+
+	"spanjoin/internal/span"
+)
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		pattern string
+		vars    []string
+	}{
+		{"abc", nil},
+		{"a|b", nil},
+		{"a*", nil},
+		{"a+b?", nil},
+		{"(ab)*", nil},
+		{"x{a}", []string{"x"}},
+		{"x{a}y{b}", []string{"x", "y"}},
+		{".*x{foo}.*y{bar}.*", []string{"x", "y"}},
+		{"[a-z]+", nil},
+		{"[^a-z]", nil},
+		{"a|", nil},     // ε branch
+		{"()", nil},     // ε
+		{"[]", nil},     // ∅
+		{`\{\}`, nil},   // escaped braces
+		{`\d\w\s`, nil}, // predefined classes
+		{`\x41`, nil},   // hex escape
+		{"outer{inner{a}b}", []string{"inner", "outer"}},
+	}
+	for _, tc := range cases {
+		f, err := Parse(tc.pattern)
+		if err != nil {
+			t.Errorf("Parse(%q) failed: %v", tc.pattern, err)
+			continue
+		}
+		want := span.NewVarList(tc.vars...)
+		if !f.Vars.Equal(want) {
+			t.Errorf("Parse(%q).Vars = %v, want %v", tc.pattern, f.Vars, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"(",     // missing )
+		"a)",    // stray )
+		"*a",    // nothing to repeat
+		"a**b(", // missing ) later
+		"[abc",  // missing ]
+		"x{a",   // missing }
+		"}",     // stray }
+		"{a}",   // brace without variable
+		"12{a}", // variable starting with a digit
+		`a\`,    // trailing backslash
+		`\xg1`,  // bad hex
+		`\x4`,   // truncated hex
+		"[z-a]", // inverted range
+		"a|b)",  // stray )
+	}
+	for _, pattern := range cases {
+		if _, err := Parse(pattern); err == nil {
+			t.Errorf("Parse(%q) should fail", pattern)
+		} else if !strings.Contains(err.Error(), "parse error") {
+			t.Errorf("Parse(%q) error lacks position info: %v", pattern, err)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// a|bc* must parse as a | (b(c*)).
+	f := MustParse("a|bc*")
+	alt, ok := f.Root.(Alt)
+	if !ok || len(alt.Subs) != 2 {
+		t.Fatalf("root is %T, want Alt of 2", f.Root)
+	}
+	cat, ok := alt.Subs[1].(Concat)
+	if !ok || len(cat.Subs) != 2 {
+		t.Fatalf("second branch is %T, want Concat of 2", alt.Subs[1])
+	}
+	if _, ok := cat.Subs[1].(Star); !ok {
+		t.Fatalf("star binds tighter than concat; got %T", cat.Subs[1])
+	}
+}
+
+func TestParseCaptureNameRule(t *testing.T) {
+	// The maximal word run before '{' is the variable name.
+	f := MustParse("ab{c}")
+	cap, ok := f.Root.(Capture)
+	if !ok || cap.Var != "ab" {
+		t.Fatalf("got %#v, want capture ab", f.Root)
+	}
+	// A non-word byte breaks the run: only "b" is the variable here.
+	f = MustParse("a.b{c}")
+	cat, ok := f.Root.(Concat)
+	if !ok {
+		t.Fatalf("root %T", f.Root)
+	}
+	last, ok := cat.Subs[len(cat.Subs)-1].(Capture)
+	if !ok || last.Var != "b" {
+		t.Fatalf("got %#v, want capture b", cat.Subs[len(cat.Subs)-1])
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	patterns := []string{
+		"abc",
+		"a|b|c",
+		"(a|b)*",
+		"x{a*}",
+		"x{a}y{b}|y{b}x{a}",
+		"[a-c]+",
+		"a?b+c*",
+		".*x{foo}.*",
+		"outer{ax{b}c}",
+	}
+	for _, pattern := range patterns {
+		f1 := MustParse(pattern)
+		rendered := f1.String()
+		f2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("re-parse of %q (from %q) failed: %v", rendered, pattern, err)
+			continue
+		}
+		if f2.String() != rendered {
+			t.Errorf("round trip unstable: %q -> %q -> %q", pattern, rendered, f2.String())
+		}
+		if !f1.Vars.Equal(f2.Vars) {
+			t.Errorf("round trip changed vars: %v vs %v", f1.Vars, f2.Vars)
+		}
+	}
+}
+
+func TestFormulaSize(t *testing.T) {
+	if s := MustParse("a").Size(); s != 1 {
+		t.Errorf("Size(a) = %d", s)
+	}
+	small := MustParse("x{a}").Size()
+	big := MustParse("x{a}y{b}z{c}").Size()
+	if big <= small {
+		t.Errorf("Size not monotone: %d vs %d", small, big)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("(")
+}

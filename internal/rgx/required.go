@@ -1,0 +1,106 @@
+package rgx
+
+// RequiredLiteral computes a conservative necessary factor of the formula:
+// a byte string that occurs in clr(r) for every r ∈ R(α). The empty string
+// means "no useful factor". Evaluators use it to skip documents that cannot
+// match at all — a lightweight version of the filtering direction the
+// paper's conclusion points to (Yang et al.'s negative factors).
+//
+// The analysis is sound, not complete: within a concatenation, a maximal
+// run of mandatory single-byte classes forms a factor; alternations
+// contribute only a factor common to all branches.
+func RequiredLiteral(n Node) string {
+	_, best := analyze(n)
+	return best
+}
+
+// analyze returns (exact, best): exact is the literal the node always
+// produces when it is a fixed single string ("" plus ok=false semantics are
+// folded: exact == "" means "not a fixed literal" unless the node is ε),
+// and best is the longest factor guaranteed to occur in every word.
+func analyze(n Node) (exact string, best string) {
+	switch t := n.(type) {
+	case Empty:
+		// The empty language: every claim is vacuously true, but a factor
+		// from a dead branch must not leak into alternations; callers of ∅
+		// have been simplified away by SimplifyEmpty in compiled formulas.
+		return "", ""
+	case Epsilon:
+		return "", ""
+	case Class:
+		if t.C.Len() == 1 {
+			b, _ := t.C.Min()
+			s := string(b)
+			return s, s
+		}
+		return "", ""
+	case Concat:
+		run := ""  // current mandatory literal run
+		best := "" // longest factor seen
+		allExact := true
+		joined := ""
+		for _, c := range t.Subs {
+			ex, sub := analyze(c)
+			if len(sub) > len(best) {
+				best = sub
+			}
+			if ex != "" || isEpsilonNode(c) {
+				run += ex
+				joined += ex
+				if len(run) > len(best) {
+					best = run
+				}
+				continue
+			}
+			allExact = false
+			run = ""
+		}
+		if allExact {
+			return joined, best
+		}
+		return "", best
+	case Alt:
+		// A factor common to all branches: use the shortest branch factor
+		// if it occurs in every branch's factor set; conservatively, demand
+		// identical factors.
+		exacts := make([]string, len(t.Subs))
+		bests := make([]string, len(t.Subs))
+		for i, c := range t.Subs {
+			exacts[i], bests[i] = analyze(c)
+		}
+		sameBest := true
+		for i := 1; i < len(bests); i++ {
+			if bests[i] != bests[0] {
+				sameBest = false
+				break
+			}
+		}
+		b := ""
+		if sameBest {
+			b = bests[0]
+		}
+		sameExact := exacts[0] != ""
+		for i := 1; i < len(exacts); i++ {
+			if exacts[i] != exacts[0] {
+				sameExact = false
+			}
+		}
+		if sameExact {
+			return exacts[0], b
+		}
+		return "", b
+	case Star, Opt:
+		return "", ""
+	case Plus:
+		_, b := analyze(t.Sub)
+		return "", b
+	case Capture:
+		return analyze(t.Sub)
+	}
+	return "", ""
+}
+
+func isEpsilonNode(n Node) bool {
+	_, ok := n.(Epsilon)
+	return ok
+}

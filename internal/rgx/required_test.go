@@ -1,0 +1,70 @@
+package rgx_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/rgx"
+)
+
+func TestRequiredLiteralFixed(t *testing.T) {
+	cases := []struct {
+		pattern string
+		want    string
+	}{
+		{"abc", "abc"},
+		{".*police.*", "police"},
+		{".*x{Belgium}.*", "Belgium"},
+		{"a*b*", ""},
+		{"(abc|abd)", ""},      // branches differ
+		{"(abc|abc)", "abc"},   // identical branches
+		{"x{ab}y{cd}", "abcd"}, // captures are transparent
+		{"ab.cd", "ab"},        // wildcard breaks the run; ties keep first longest
+		{"a(bc)+d", "bc"},      // plus body required once... run analysis picks bc
+		{"[ab]x", "x"},         // multi-byte class not required
+		{"a|", ""},             // ε branch kills the factor
+		{".*ERROR op=.*", "ERROR op="},
+	}
+	for _, tc := range cases {
+		f := rgx.MustParse(tc.pattern)
+		got := rgx.RequiredLiteral(f.Root)
+		if got != tc.want {
+			t.Errorf("RequiredLiteral(%q) = %q, want %q", tc.pattern, got, tc.want)
+		}
+	}
+}
+
+// TestRequiredLiteralSound: every string with a non-empty result must
+// contain the computed factor.
+func TestRequiredLiteralSound(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	patterns := []string{
+		".*x{ab}.*", "(ab|ba)x{c}", "a+x{b?}c*d", ".*x{a}b.*", "x{(ab)+}",
+		"(a|b)*cd(a|b)*",
+	}
+	for _, p := range patterns {
+		f := rgx.MustParse(p)
+		req := rgx.RequiredLiteral(f.Root)
+		a, err := rgx.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 40; trial++ {
+			n := r.Intn(7)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = "abcd"[r.Intn(4)]
+			}
+			s := string(b)
+			_, tuples, err := enum.Eval(a, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tuples) > 0 && req != "" && !strings.Contains(s, req) {
+				t.Fatalf("%q matched %q but required literal %q is absent", p, s, req)
+			}
+		}
+	}
+}

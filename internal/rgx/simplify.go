@@ -1,0 +1,85 @@
+package rgx
+
+// SimplifyEmpty rewrites the AST so that the ∅ formula occurs only as the
+// whole result: ∅-subformulas are propagated (∅·α = ∅, ∅ ∨ α = α, ∅* = ε,
+// x{∅} = ∅, …) and empty byte classes become ∅. The rewriting preserves
+// R(α) exactly; it is used by the functionality test and the compiler so
+// that dead branches cannot hide variables.
+func SimplifyEmpty(n Node) Node {
+	switch t := n.(type) {
+	case Empty:
+		return t
+	case Epsilon:
+		return t
+	case Class:
+		if t.C.IsEmpty() {
+			return Empty{}
+		}
+		return t
+	case Concat:
+		subs := make([]Node, 0, len(t.Subs))
+		for _, c := range t.Subs {
+			s := SimplifyEmpty(c)
+			if isEmptyNode(s) {
+				return Empty{}
+			}
+			if _, eps := s.(Epsilon); eps {
+				continue
+			}
+			subs = append(subs, s)
+		}
+		switch len(subs) {
+		case 0:
+			return Epsilon{}
+		case 1:
+			return subs[0]
+		}
+		return Concat{Subs: subs}
+	case Alt:
+		subs := make([]Node, 0, len(t.Subs))
+		for _, c := range t.Subs {
+			s := SimplifyEmpty(c)
+			if isEmptyNode(s) {
+				continue
+			}
+			subs = append(subs, s)
+		}
+		switch len(subs) {
+		case 0:
+			return Empty{}
+		case 1:
+			return subs[0]
+		}
+		return Alt{Subs: subs}
+	case Star:
+		s := SimplifyEmpty(t.Sub)
+		if isEmptyNode(s) {
+			return Epsilon{}
+		}
+		return Star{Sub: s}
+	case Plus:
+		s := SimplifyEmpty(t.Sub)
+		if isEmptyNode(s) {
+			return Empty{}
+		}
+		return Plus{Sub: s}
+	case Opt:
+		s := SimplifyEmpty(t.Sub)
+		if isEmptyNode(s) {
+			return Epsilon{}
+		}
+		return Opt{Sub: s}
+	case Capture:
+		s := SimplifyEmpty(t.Sub)
+		if isEmptyNode(s) {
+			return Empty{}
+		}
+		return Capture{Var: t.Var, Sub: s}
+	}
+	return n
+}
+
+func isEmptyNode(n Node) bool {
+	_, ok := n.(Empty)
+	return ok
+}

@@ -1,0 +1,212 @@
+// Package span defines spans, variable lists, (V,s)-tuples and span
+// relations — the data model of document spanners (paper §2.1).
+//
+// A span of a string s is a half-open interval [i, j⟩ with
+// 1 ≤ i ≤ j ≤ |s|+1, identifying the substring s_[i,j⟩ = σ_i … σ_{j−1}.
+// Spans are positional: two spans with equal substrings need not be equal.
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is the interval [Start, End⟩ with 1-based, inclusive Start and
+// exclusive End, following the paper's [i, j⟩ notation. A span is valid for
+// a string of length N when 1 ≤ Start ≤ End ≤ N+1.
+type Span struct {
+	Start int
+	End   int
+}
+
+// Len returns the number of characters covered by the span.
+func (p Span) Len() int { return p.End - p.Start }
+
+// IsEmpty reports whether the span covers no characters.
+func (p Span) IsEmpty() bool { return p.Start == p.End }
+
+// ValidFor reports whether p is a span of a string of length n.
+func (p Span) ValidFor(n int) bool {
+	return 1 <= p.Start && p.Start <= p.End && p.End <= n+1
+}
+
+// Substr returns the substring s_[Start,End⟩ of s. It panics if the span is
+// not valid for s, mirroring slice-bounds behaviour.
+func (p Span) Substr(s string) string { return s[p.Start-1 : p.End-1] }
+
+// String renders the span in the paper's [i, j⟩ notation.
+func (p Span) String() string { return fmt.Sprintf("[%d,%d⟩", p.Start, p.End) }
+
+// Compare orders spans by (Start, End). It returns -1, 0 or +1.
+func (p Span) Compare(q Span) int {
+	switch {
+	case p.Start != q.Start:
+		if p.Start < q.Start {
+			return -1
+		}
+		return 1
+	case p.End != q.End:
+		if p.End < q.End {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Contains reports whether q lies within p (q is a subspan of p), i.e. the
+// relation extracted by the paper's α_sub formula.
+func (p Span) Contains(q Span) bool { return p.Start <= q.Start && q.End <= p.End }
+
+// All enumerates every span of a string of length n in (Start, End) order.
+// There are (n+1)(n+2)/2 of them.
+func All(n int) []Span {
+	out := make([]Span, 0, (n+1)*(n+2)/2)
+	for i := 1; i <= n+1; i++ {
+		for j := i; j <= n+1; j++ {
+			out = append(out, Span{i, j})
+		}
+	}
+	return out
+}
+
+// VarList is a sorted, duplicate-free list of variable names. It fixes the
+// column order of tuples: Tuple[k] is the span of Vars[k].
+type VarList []string
+
+// NewVarList sorts and deduplicates names into a VarList.
+func NewVarList(names ...string) VarList {
+	vs := append([]string(nil), names...)
+	sort.Strings(vs)
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return VarList(out)
+}
+
+// Index returns the position of name in the list, or -1.
+func (vl VarList) Index(name string) int {
+	lo, hi := 0, len(vl)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if vl[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(vl) && vl[lo] == name {
+		return lo
+	}
+	return -1
+}
+
+// Contains reports whether name is in the list.
+func (vl VarList) Contains(name string) bool { return vl.Index(name) >= 0 }
+
+// Equal reports whether two lists contain the same names.
+func (vl VarList) Equal(o VarList) bool {
+	if len(vl) != len(o) {
+		return false
+	}
+	for i := range vl {
+		if vl[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the sorted union of the two lists.
+func (vl VarList) Union(o VarList) VarList {
+	return NewVarList(append(append([]string(nil), vl...), o...)...)
+}
+
+// Intersect returns the sorted intersection of the two lists.
+func (vl VarList) Intersect(o VarList) VarList {
+	var out []string
+	for _, v := range vl {
+		if o.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return VarList(out)
+}
+
+// Minus returns vl \ o.
+func (vl VarList) Minus(o VarList) VarList {
+	var out []string
+	for _, v := range vl {
+		if !o.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return VarList(out)
+}
+
+// String renders the list as {x, y, z}.
+func (vl VarList) String() string {
+	return "{" + strings.Join(vl, ", ") + "}"
+}
+
+// Tuple is a (V,s)-tuple: one span per variable of an associated VarList,
+// in the same order. The empty tuple (no variables) is the Boolean "true"
+// witness.
+type Tuple []Span
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Compare orders tuples lexicographically by span.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// Key encodes the tuple as a compact comparable string, usable as a map key
+// for deduplication.
+func (t Tuple) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(t) * 8)
+	for _, p := range t {
+		putUvarint(&sb, uint64(p.Start))
+		putUvarint(&sb, uint64(p.End))
+	}
+	return sb.String()
+}
+
+func putUvarint(sb *strings.Builder, v uint64) {
+	for v >= 0x80 {
+		sb.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	sb.WriteByte(byte(v))
+}
+
+// Format renders the tuple against its variable list, e.g.
+// "x=[1,3⟩ y=[2,2⟩".
+func (t Tuple) Format(vars VarList) string {
+	parts := make([]string, len(t))
+	for i, p := range t {
+		parts[i] = vars[i] + "=" + p.String()
+	}
+	return strings.Join(parts, " ")
+}

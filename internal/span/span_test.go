@@ -1,0 +1,221 @@
+package span
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestExample21 reproduces Example 2.1 of the paper: spans of
+// "chocolate cookie".
+func TestExample21(t *testing.T) {
+	s := "chocolate cookie"
+	if len(s) != 16 {
+		t.Fatalf("|s| = %d, want 16", len(s))
+	}
+	a := Span{4, 6}
+	b := Span{11, 13}
+	if a.Substr(s) != "co" || b.Substr(s) != "co" {
+		t.Errorf("substrings: %q, %q, want co, co", a.Substr(s), b.Substr(s))
+	}
+	if a == b {
+		t.Error("[4,6⟩ and [11,13⟩ must be distinct spans despite equal substrings")
+	}
+	e1, e2 := Span{1, 1}, Span{2, 2}
+	if e1.Substr(s) != "" || e2.Substr(s) != "" {
+		t.Error("empty spans must span the empty string")
+	}
+	if e1 == e2 {
+		t.Error("[1,1⟩ and [2,2⟩ must be distinct")
+	}
+	whole := Span{1, 17}
+	if whole.Substr(s) != s {
+		t.Errorf("s_[1,17⟩ = %q, want the whole string", whole.Substr(s))
+	}
+}
+
+func TestSpanBasics(t *testing.T) {
+	p := Span{2, 5}
+	if p.Len() != 3 || p.IsEmpty() {
+		t.Errorf("Len/IsEmpty wrong for %v", p)
+	}
+	if !(Span{3, 3}).IsEmpty() {
+		t.Error("empty span not recognized")
+	}
+	if !p.ValidFor(4) || p.ValidFor(3) {
+		t.Error("ValidFor boundaries wrong")
+	}
+	if (Span{0, 2}).ValidFor(5) {
+		t.Error("0-based start should be invalid")
+	}
+	if p.String() != "[2,5⟩" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestSpanCompare(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want int
+	}{
+		{Span{1, 2}, Span{1, 2}, 0},
+		{Span{1, 2}, Span{1, 3}, -1},
+		{Span{2, 2}, Span{1, 9}, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Compare(tc.a); got != -tc.want {
+			t.Errorf("Compare antisymmetry broken for %v,%v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestSpanContains(t *testing.T) {
+	outer := Span{2, 8}
+	for _, tc := range []struct {
+		inner Span
+		want  bool
+	}{
+		{Span{2, 8}, true},
+		{Span{3, 5}, true},
+		{Span{2, 2}, true},
+		{Span{8, 8}, true},
+		{Span{1, 3}, false},
+		{Span{7, 9}, false},
+	} {
+		if got := outer.Contains(tc.inner); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.inner, got, tc.want)
+		}
+	}
+}
+
+func TestAllSpans(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		all := All(n)
+		want := (n + 1) * (n + 2) / 2
+		if len(all) != want {
+			t.Errorf("All(%d) has %d spans, want %d", n, len(all), want)
+		}
+		seen := map[Span]bool{}
+		for _, p := range all {
+			if !p.ValidFor(n) {
+				t.Errorf("All(%d) produced invalid span %v", n, p)
+			}
+			if seen[p] {
+				t.Errorf("All(%d) produced duplicate %v", n, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestVarList(t *testing.T) {
+	vl := NewVarList("y", "x", "y", "z")
+	if len(vl) != 3 || vl[0] != "x" || vl[1] != "y" || vl[2] != "z" {
+		t.Fatalf("NewVarList = %v", vl)
+	}
+	if vl.Index("y") != 1 || vl.Index("w") != -1 {
+		t.Error("Index wrong")
+	}
+	if !vl.Contains("z") || vl.Contains("q") {
+		t.Error("Contains wrong")
+	}
+	if vl.String() != "{x, y, z}" {
+		t.Errorf("String = %q", vl.String())
+	}
+}
+
+func TestVarListAlgebra(t *testing.T) {
+	a := NewVarList("x", "y")
+	b := NewVarList("y", "z")
+	if got := a.Union(b); !got.Equal(NewVarList("x", "y", "z")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewVarList("y")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewVarList("x")) {
+		t.Errorf("Minus = %v", got)
+	}
+	if a.Equal(b) || !a.Equal(NewVarList("y", "x")) {
+		t.Error("Equal wrong")
+	}
+	var empty VarList
+	if !a.Intersect(empty).Equal(empty) || !a.Union(empty).Equal(a) {
+		t.Error("empty-list algebra wrong")
+	}
+}
+
+func TestTupleCompareAndKey(t *testing.T) {
+	t1 := Tuple{{1, 2}, {3, 4}}
+	t2 := Tuple{{1, 2}, {3, 5}}
+	if t1.Compare(t2) != -1 || t2.Compare(t1) != 1 || t1.Compare(t1) != 0 {
+		t.Error("Compare wrong")
+	}
+	if t1.Key() == t2.Key() {
+		t.Error("distinct tuples share a key")
+	}
+	if t1.Key() != t1.Clone().Key() {
+		t.Error("clone changes key")
+	}
+	c := t1.Clone()
+	c[0] = Span{9, 9}
+	if t1[0].Start == 9 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestTupleFormat(t *testing.T) {
+	vars := NewVarList("x", "y")
+	tu := Tuple{{1, 2}, {2, 2}}
+	if got := tu.Format(vars); got != "x=[1,2⟩ y=[2,2⟩" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestQuickTupleKeyInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	seen := map[string]Tuple{}
+	for i := 0; i < 2000; i++ {
+		n := r.Intn(4) + 1
+		tu := make(Tuple, n)
+		for j := range tu {
+			a := r.Intn(300) + 1
+			tu[j] = Span{a, a + r.Intn(300)}
+		}
+		k := tu.Key()
+		if prev, ok := seen[k]; ok && prev.Compare(tu) != 0 {
+			t.Fatalf("key collision: %v vs %v", prev, tu)
+		}
+		seen[k] = tu.Clone()
+	}
+}
+
+func TestQuickVarListUnionIdempotent(t *testing.T) {
+	f := func(xs []string) bool {
+		vl := NewVarList(xs...)
+		return vl.Union(vl).Equal(vl) && vl.Intersect(vl).Equal(vl) && len(vl.Minus(vl)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	randSpan := func() Span {
+		a := r.Intn(10) + 1
+		return Span{a, a + r.Intn(10)}
+	}
+	for i := 0; i < 1000; i++ {
+		a, b, c := randSpan(), randSpan(), randSpan()
+		if a.Compare(b) < 0 && b.Compare(c) < 0 && a.Compare(c) >= 0 {
+			t.Fatalf("transitivity violated: %v %v %v", a, b, c)
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated: %v %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package strequal_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spanjoin/internal/strequal"
+)
+
+// TestQuickLCEAgainstDefinition: lce[i][j] must equal the length of the
+// longest common prefix of s[i:] and s[j:], for random strings.
+func TestQuickLCEAgainstDefinition(t *testing.T) {
+	naive := func(s string, i, j int) int {
+		n := 0
+		for i+n < len(s) && j+n < len(s) && s[i+n] == s[j+n] {
+			n++
+		}
+		return n
+	}
+	f := func(raw []byte) bool {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		b := make([]byte, len(raw))
+		for i, c := range raw {
+			b[i] = 'a' + c%3 // small alphabet for more repetition
+		}
+		s := string(b)
+		lce := strequal.LCE(s)
+		for i := 0; i <= len(s); i++ {
+			for j := 0; j <= len(s); j++ {
+				if lce[i][j] != naive(s, i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCESymmetricAndDiagonal(t *testing.T) {
+	s := strings.Repeat("abcab", 4)
+	lce := strequal.LCE(s)
+	for i := 0; i <= len(s); i++ {
+		if lce[i][i] != len(s)-i {
+			t.Fatalf("diagonal lce[%d][%d] = %d, want %d", i, i, lce[i][i], len(s)-i)
+		}
+		for j := 0; j <= len(s); j++ {
+			if lce[i][j] != lce[j][i] {
+				t.Fatalf("asymmetric at %d,%d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package strequal implements the runtime compilation of string-equality
+// selections into vset-automata (Theorem 5.4).
+//
+// String equality cannot be compiled into a vset-automaton statically —
+// core spanners are strictly more expressive than regular ones (Fagin et
+// al.) — but for a *fixed input string* s one can build an automaton A_eq
+// over {x, y} with µ ∈ [[A_eq]](s) iff s_µ(x) = s_µ(y). Joining A_eq with A
+// (Lemma 3.10) then realizes ζ=_{x,y}(A) for this s, and the join is
+// enumerable with polynomial delay (Theorem 3.3).
+//
+// The construction enumerates the valid triples (i, j, ℓ) — start of x,
+// start of y, common length — using an O(N²) longest-common-extension
+// table, and builds a DAG of states keyed by (boundary, pending variable
+// operations), sharing the common prefix (before any operation) and suffix
+// (after all operations). The automaton has Θ(N³) states in the worst case
+// (e.g. s = aⁿ), matching the paper's O(N^{3k+1}) bound for k selections.
+package strequal
+
+import (
+	"fmt"
+	"sort"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// LCE returns the longest-common-extension table of s: lce[i][j] is the
+// length of the longest common prefix of s[i:] and s[j:], for 0 ≤ i, j ≤ N
+// (0-based suffix starts). Computed in O(N²).
+func LCE(s string) [][]int {
+	n := len(s)
+	lce := make([][]int, n+1)
+	for i := range lce {
+		lce[i] = make([]int, n+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := n - 1; j >= 0; j-- {
+			if s[i] == s[j] {
+				lce[i][j] = lce[i+1][j+1] + 1
+			}
+		}
+	}
+	return lce
+}
+
+// op is a pending variable operation at a 1-based boundary position.
+type op struct {
+	pos   int  // boundary 1..N+1
+	close bool // false = open
+	yvar  bool // false = x, true = y
+}
+
+// Build constructs A_eq for the selection ζ=_{x,y} on the concrete string s.
+// [[A_eq]](s) = { µ : s_µ(x) = s_µ(y) }, and [[A_eq]](s′) = ∅ for s′ ≠ s
+// whenever |s′| ≠ |s| or s′ differs from s (the automaton reads s exactly).
+func Build(s string, x, y string) (*vsa.VSA, error) {
+	if x == y {
+		return nil, fmt.Errorf("strequal: ζ= needs two distinct variables, got %q twice", x)
+	}
+	vars := span.NewVarList(x, y)
+	a := vsa.New(vars)
+	xv := a.VarIndex(x)
+	yv := a.VarIndex(y)
+	n := len(s)
+	lce := LCE(s)
+
+	// State interning: key = (boundary, canonical pending-op list).
+	type stateKey string
+	ids := map[stateKey]int32{}
+	keyOf := func(b int, pending []op) stateKey {
+		k := fmt.Sprintf("%d|", b)
+		for _, o := range pending {
+			k += fmt.Sprintf("%d,%v,%v;", o.pos, o.close, o.yvar)
+		}
+		return stateKey(k)
+	}
+	getState := func(b int, pending []op) int32 {
+		k := keyOf(b, pending)
+		if q, ok := ids[k]; ok {
+			return q
+		}
+		q := a.AddState()
+		ids[k] = q
+		return q
+	}
+
+	// The shared suffix path: boundary b with no pending ops, reading the
+	// rest of s to the final state.
+	suffix := make([]int32, n+2)
+	suffix[n+1] = a.Final
+	for b := n; b >= 1; b-- {
+		q := getState(b, nil)
+		a.AddChar(q, alphabet.Single(s[b-1]), suffix[b+1])
+		suffix[b] = q
+	}
+	// Walk one triple's path, reusing interned states. Ops at the same
+	// boundary are ordered canonically: x⊢ < ⊣x < y⊢ < ⊣y keeps each
+	// variable's open before its close when both land on one boundary.
+	addTriple := func(ops []op) {
+		sort.SliceStable(ops, func(i, j int) bool {
+			if ops[i].pos != ops[j].pos {
+				return ops[i].pos < ops[j].pos
+			}
+			return opRank(ops[i]) < opRank(ops[j])
+		})
+		cur := a.Init
+		b := 1
+		pending := ops
+		if len(pending) > 0 {
+			// The initial state stands for boundary 1 with all ops pending;
+			// link Init to the interned representative via ε once.
+			rep := getState(1, pending)
+			if !epsEdgeExists(a, cur, rep) {
+				a.AddEps(cur, rep)
+			}
+			cur = rep
+		} else {
+			if !epsEdgeExists(a, cur, suffix[1]) {
+				a.AddEps(cur, suffix[1])
+			}
+			return
+		}
+		for {
+			if len(pending) > 0 && pending[0].pos == b {
+				next := pending[1:]
+				var to int32
+				if len(next) == 0 {
+					if b == n+1 {
+						to = a.Final
+					} else {
+						to = suffix[b]
+					}
+				} else {
+					to = getState(b, next)
+				}
+				if !edgeExists(a, cur, to, pending[0]) {
+					o := pending[0]
+					v := xv
+					if o.yvar {
+						v = yv
+					}
+					if o.close {
+						a.AddClose(cur, v, to)
+					} else {
+						a.AddOpen(cur, v, to)
+					}
+				}
+				cur = to
+				pending = next
+				if len(pending) == 0 {
+					return // suffix path continues from here
+				}
+				continue
+			}
+			// Read the next character of s.
+			if b > n {
+				return
+			}
+			to := getState(b+1, pending)
+			if !charEdgeExists(a, cur, to) {
+				a.AddChar(cur, alphabet.Single(s[b-1]), to)
+			}
+			cur = to
+			b++
+		}
+	}
+
+	// Enumerate triples: 1-based starts i (x), j (y), length ℓ with
+	// s[i-1 : i-1+ℓ] == s[j-1 : j-1+ℓ].
+	for i := 1; i <= n+1; i++ {
+		for j := 1; j <= n+1; j++ {
+			maxL := lce[i-1][j-1]
+			if m := n + 1 - i; m < maxL {
+				maxL = m
+			}
+			if m := n + 1 - j; m < maxL {
+				maxL = m
+			}
+			for l := 0; l <= maxL; l++ {
+				addTriple([]op{
+					{pos: i, close: false, yvar: false},
+					{pos: i + l, close: true, yvar: false},
+					{pos: j, close: false, yvar: true},
+					{pos: j + l, close: true, yvar: true},
+				})
+			}
+		}
+	}
+	return a.Trim(), nil
+}
+
+func opRank(o op) int {
+	r := 0
+	if o.yvar {
+		r += 2
+	}
+	if o.close {
+		r++
+	}
+	return r
+}
+
+func edgeExists(a *vsa.VSA, from, to int32, o op) bool {
+	for _, t := range a.Adj[from] {
+		if t.To != to {
+			continue
+		}
+		if o.close && t.Kind == vsa.KClose || !o.close && t.Kind == vsa.KOpen {
+			return true
+		}
+	}
+	return false
+}
+
+func charEdgeExists(a *vsa.VSA, from, to int32) bool {
+	for _, t := range a.Adj[from] {
+		if t.To == to && t.Kind == vsa.KChar {
+			return true
+		}
+	}
+	return false
+}
+
+func epsEdgeExists(a *vsa.VSA, from, to int32) bool {
+	for _, t := range a.Adj[from] {
+		if t.To == to && t.Kind == vsa.KEps {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply compiles the sequence of string-equality selections onto A for the
+// concrete string s: it joins A with one A_eq per selection (Theorem 5.4).
+// Each selection is a pair (x, y) of variables of A.
+func Apply(a *vsa.VSA, s string, selections [][2]string) (*vsa.VSA, error) {
+	out := a
+	for _, sel := range selections {
+		if a.Vars.Index(sel[0]) < 0 || a.Vars.Index(sel[1]) < 0 {
+			return nil, fmt.Errorf("strequal: selection ζ=_{%s,%s} uses a variable not in %v",
+				sel[0], sel[1], a.Vars)
+		}
+		aeq, err := Build(s, sel[0], sel[1])
+		if err != nil {
+			return nil, err
+		}
+		joined, err := vsa.Join(out, aeq)
+		if err != nil {
+			return nil, err
+		}
+		out = joined
+	}
+	return out, nil
+}

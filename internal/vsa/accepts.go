@@ -1,0 +1,92 @@
+package vsa
+
+import (
+	"fmt"
+
+	"spanjoin/internal/span"
+)
+
+// AcceptsTuple decides whether µ ∈ [[A]](s) for a functional vset-automaton
+// without enumerating the result: by §4.1, µ corresponds to a unique
+// sequence κ₀…κ_N of variable configurations, so it suffices to simulate A
+// on s keeping, at every boundary, only the states whose configuration
+// matches κ_i. The test runs in O(n²·|s|) regardless of |[[A]](s)|.
+//
+// vars fixes the column order of t; it must contain exactly Vars(A).
+func AcceptsTuple(a *VSA, s string, vars span.VarList, t span.Tuple) (bool, error) {
+	trimmed, ct, err := a.RequireFunctional()
+	if err != nil {
+		return false, err
+	}
+	if !vars.Equal(trimmed.Vars) {
+		return false, fmt.Errorf("vsa: tuple schema %v does not match automaton variables %v", vars, trimmed.Vars)
+	}
+	if len(t) != len(vars) {
+		return false, fmt.Errorf("vsa: tuple arity %d != |vars| %d", len(t), len(vars))
+	}
+	n := len(s)
+	for _, p := range t {
+		if !p.ValidFor(n) {
+			return false, nil // not a span of s at all
+		}
+	}
+	if isEmptyVSA(trimmed) {
+		return false, nil
+	}
+	// κ_i: the configuration at boundary i (before reading s[i]), i = 0..N.
+	kappa := func(i int) Config {
+		cfg := make(Config, len(vars))
+		pos := i + 1
+		for v, p := range t {
+			switch {
+			case pos < p.Start:
+				cfg[v] = W
+			case pos < p.End:
+				cfg[v] = O
+			default:
+				cfg[v] = C
+			}
+		}
+		return cfg
+	}
+	cl := trimmed.NewClosures()
+	matches := func(states []int32, want Config) []int32 {
+		var out []int32
+		for _, q := range states {
+			if ct.Cfg[q].Equal(want) {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	cur := matches(cl.VE[trimmed.Init], kappa(0))
+	for i := 0; i < n; i++ {
+		want := kappa(i + 1)
+		next := make([]bool, trimmed.NumStates())
+		for _, p := range cur {
+			for _, tr := range trimmed.Adj[p] {
+				if tr.Kind != KChar || !tr.Class.Contains(s[i]) {
+					continue
+				}
+				for _, q := range cl.VE[tr.To] {
+					next[q] = true
+				}
+			}
+		}
+		cur = cur[:0]
+		for q, ok := range next {
+			if ok && ct.Cfg[q].Equal(want) {
+				cur = append(cur, int32(q))
+			}
+		}
+		if len(cur) == 0 {
+			return false, nil
+		}
+	}
+	for _, q := range cur {
+		if q == trimmed.Final {
+			return true, nil
+		}
+	}
+	return false, nil
+}

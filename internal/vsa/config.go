@@ -1,0 +1,212 @@
+package vsa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VarState is the per-variable state in a variable configuration (paper
+// §4.1): waiting (not yet opened), open, or closed. The numeric values fix
+// the total order w < o < c used by the enumeration algorithm's radix order.
+type VarState byte
+
+const (
+	// W means the variable has not been opened yet.
+	W VarState = 0
+	// O means the variable is open but not closed.
+	O VarState = 1
+	// C means the variable has been opened and closed.
+	C VarState = 2
+)
+
+func (v VarState) String() string {
+	switch v {
+	case W:
+		return "w"
+	case O:
+		return "o"
+	case C:
+		return "c"
+	}
+	return fmt.Sprintf("VarState(%d)", byte(v))
+}
+
+// Config is a variable configuration ~c : V → {w, o, c}, aligned with the
+// automaton's sorted variable list.
+type Config []VarState
+
+// Clone copies the configuration.
+func (c Config) Clone() Config { return append(Config(nil), c...) }
+
+// Equal reports pointwise equality.
+func (c Config) Equal(o Config) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders configurations lexicographically with w < o < c.
+func (c Config) Compare(o Config) int {
+	for i := range c {
+		if c[i] != o[i] {
+			if c[i] < o[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Key returns a compact map key for the configuration.
+func (c Config) Key() string { return string(configBytes(c)) }
+
+func configBytes(c Config) []byte {
+	b := make([]byte, len(c))
+	for i, v := range c {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+// String renders e.g. "(w,o,c)".
+func (c Config) String() string {
+	out := "("
+	for i, v := range c {
+		if i > 0 {
+			out += ","
+		}
+		out += v.String()
+	}
+	return out + ")"
+}
+
+// AllClosed reports whether every variable is closed.
+func (c Config) AllClosed() bool {
+	for _, v := range c {
+		if v != C {
+			return false
+		}
+	}
+	return true
+}
+
+// AllWaiting reports whether every variable is waiting.
+func (c Config) AllWaiting() bool {
+	for _, v := range c {
+		if v != W {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrNotFunctional is returned by operations that require a functional
+// vset-automaton when the input is not functional.
+var ErrNotFunctional = errors.New("vsa: automaton is not functional")
+
+// ConfigTable assigns each useful state its variable configuration. It is
+// the witness of functionality: a trimmed vset-automaton admits a consistent
+// table iff it is functional (paper Thm 2.7 / §4.1).
+type ConfigTable struct {
+	// Cfg[q] is the variable configuration of state q.
+	Cfg []Config
+}
+
+// ConfigTableOf computes the variable configuration of every state of a
+// *trimmed* automaton by breadth-first search in O(v·m + n) and verifies
+// functionality along the way:
+//
+//   - an x⊢ transition requires the source configuration to have x = w,
+//   - a ⊣x transition requires x = o,
+//   - every state reached along two paths must get the same configuration,
+//   - the final state's configuration must be all-closed.
+//
+// Any violation yields ErrNotFunctional (wrapped with a description).
+func (a *VSA) ConfigTableOf() (*ConfigTable, error) {
+	n := len(a.Adj)
+	cfg := make([]Config, n)
+	if n == 0 {
+		return &ConfigTable{Cfg: cfg}, nil
+	}
+	init := make(Config, len(a.Vars)) // all W
+	cfg[a.Init] = init
+	queue := []int32{a.Init}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, t := range a.Adj[p] {
+			next, err := applyOp(cfg[p], t)
+			if err != nil {
+				return nil, err
+			}
+			if cfg[t.To] == nil {
+				cfg[t.To] = next
+				queue = append(queue, t.To)
+			} else if !cfg[t.To].Equal(next) {
+				return nil, fmt.Errorf("%w: state %d is reachable with configurations %v and %v",
+					ErrNotFunctional, t.To, cfg[t.To], next)
+			}
+		}
+	}
+	if cfg[a.Final] == nil {
+		// Final unreachable: the language is empty; treat as functional with
+		// a vacuous table (callers should trim first, which removes this).
+		cfg[a.Final] = make(Config, len(a.Vars))
+		for i := range cfg[a.Final] {
+			cfg[a.Final][i] = C
+		}
+	}
+	if !cfg[a.Final].AllClosed() {
+		return nil, fmt.Errorf("%w: final state has configuration %v (some variable never operated)",
+			ErrNotFunctional, cfg[a.Final])
+	}
+	return &ConfigTable{Cfg: cfg}, nil
+}
+
+func applyOp(c Config, t Tr) (Config, error) {
+	switch t.Kind {
+	case KEps, KChar:
+		return c, nil
+	case KOpen:
+		if c[t.Var] != W {
+			return nil, fmt.Errorf("%w: variable %d opened while %v", ErrNotFunctional, t.Var, c[t.Var])
+		}
+		n := c.Clone()
+		n[t.Var] = O
+		return n, nil
+	case KClose:
+		if c[t.Var] != O {
+			return nil, fmt.Errorf("%w: variable %d closed while %v", ErrNotFunctional, t.Var, c[t.Var])
+		}
+		n := c.Clone()
+		n[t.Var] = C
+		return n, nil
+	}
+	return nil, fmt.Errorf("vsa: unknown transition kind %v", t.Kind)
+}
+
+// IsFunctional reports whether the automaton is functional: every accepting
+// run generates a valid ref-word (Thm 2.7). The automaton is trimmed first,
+// since states off all accepting paths cannot affect R(A).
+func (a *VSA) IsFunctional() bool {
+	_, err := a.Trim().ConfigTableOf()
+	return err == nil
+}
+
+// RequireFunctional trims the automaton and returns the trimmed copy with
+// its configuration table, or ErrNotFunctional.
+func (a *VSA) RequireFunctional() (*VSA, *ConfigTable, error) {
+	t := a.Trim()
+	ct, err := t.ConfigTableOf()
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, ct, nil
+}

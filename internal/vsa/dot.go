@@ -1,0 +1,33 @@
+package vsa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the automaton in Graphviz dot format for debugging and for
+// the spanctl CLI's dot subcommand.
+func (a *VSA) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	fmt.Fprintf(&sb, "  start [shape=point];\n  start -> q%d;\n", a.Init)
+	fmt.Fprintf(&sb, "  q%d [shape=doublecircle];\n", a.Final)
+	for p, ts := range a.Adj {
+		for _, t := range ts {
+			var label string
+			switch t.Kind {
+			case KEps:
+				label = "ε"
+			case KChar:
+				label = t.Class.String()
+			case KOpen:
+				label = a.Vars[t.Var] + "⊢"
+			case KClose:
+				label = "⊣" + a.Vars[t.Var]
+			}
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=%q];\n", p, t.To, label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

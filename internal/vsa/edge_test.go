@@ -1,0 +1,167 @@
+package vsa_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/enum"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// TestJoinBooleanSides: joining with 0-variable (Boolean) spanners acts as
+// a filter — TRUE keeps everything, FALSE empties.
+func TestJoinBooleanSides(t *testing.T) {
+	x := rgx.MustCompilePattern(".*x{a}.*")
+	hasB := rgx.MustCompilePattern(".*b.*")
+	j, err := vsa.Join(x, hasB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Vars.Equal(span.NewVarList("x")) {
+		t.Fatalf("join vars %v", j.Vars)
+	}
+	// On "ab": hasB true, so all x-matches survive.
+	if got := evalVSA(t, j, "ab"); len(got) != 1 {
+		t.Errorf("on ab: %d tuples, want 1", len(got))
+	}
+	// On "aa": hasB false, everything filtered.
+	if got := evalVSA(t, j, "aa"); len(got) != 0 {
+		t.Errorf("on aa: %d tuples, want 0", len(got))
+	}
+}
+
+// TestJoinSelfIsIdentity: A ⋈ A = A (idempotence on identical inputs).
+func TestJoinSelfIsIdentity(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a+}y{b?}.*")
+	j, err := vsa.Join(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"", "a", "ab", "aab"} {
+		want := evalVSA(t, a, s)
+		got := evalVSA(t, j, s)
+		if !oracle.EqualTupleSets(got, want) {
+			t.Errorf("A⋈A ≠ A on %q: %d vs %d", s, len(got), len(want))
+		}
+	}
+}
+
+// TestInitialEqualsFinal: an automaton whose initial state is also final
+// (accepts ε plus more).
+func TestInitialEqualsFinal(t *testing.T) {
+	a := &vsa.VSA{Vars: nil, Adj: make([][]vsa.Tr, 1), Init: 0, Final: 0}
+	a.AddChar(0, alphabet.Single('a'), 0)
+	if !a.IsFunctional() {
+		t.Fatal("should be functional")
+	}
+	for s, want := range map[string]int{"": 1, "a": 1, "aa": 1, "b": 0} {
+		_, tuples, err := enum.Eval(a, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tuples) != want {
+			t.Errorf("on %q: %d tuples, want %d", s, len(tuples), want)
+		}
+	}
+}
+
+// TestVariableOpsAtEveryBoundary: a variable opened at the very start and
+// closed at the very end, with ops stacked at one boundary.
+func TestVariableOpsAtEveryBoundary(t *testing.T) {
+	// x over the whole string, y empty exactly in the middle of "ab".
+	a := rgx.MustCompilePattern("x{a(y{})b}") // parens keep 'a' a literal (word-run rule)
+	_, tuples, err := enum.Eval(a, "ab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 {
+		t.Fatalf("got %d tuples", len(tuples))
+	}
+	vars := a.Vars
+	tu := tuples[0]
+	if tu[vars.Index("x")] != (span.Span{Start: 1, End: 3}) {
+		t.Errorf("x = %v", tu[vars.Index("x")])
+	}
+	if tu[vars.Index("y")] != (span.Span{Start: 2, End: 2}) {
+		t.Errorf("y = %v", tu[vars.Index("y")])
+	}
+}
+
+// TestProjectToNothingThenJoin: Boolean projections compose with joins.
+func TestProjectToNothingThenJoin(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{ab}.*")
+	boolA, err := vsa.Project(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boolA.Vars) != 0 {
+		t.Fatalf("projection to ∅ kept vars %v", boolA.Vars)
+	}
+	other := rgx.MustCompilePattern(".*y{b}.*")
+	j, err := vsa.Join(boolA, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On "ab": boolean true, y matches at [2,3⟩.
+	got := evalVSA(t, j, "ab")
+	if len(got) != 1 {
+		t.Errorf("got %d tuples, want 1", len(got))
+	}
+	// On "bb": boolean false.
+	if got := evalVSA(t, j, "bb"); len(got) != 0 {
+		t.Errorf("got %d tuples, want 0", len(got))
+	}
+}
+
+// TestUnionOrderInsensitive: union results don't depend on argument order.
+func TestUnionOrderInsensitive(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a.}.*")
+	b := rgx.MustCompilePattern(".*x{.b}.*")
+	c := rgx.MustCompilePattern("x{.*}")
+	u1, err := vsa.Union(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := vsa.Union(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"", "ab", "ba", "abb"} {
+		if !oracle.EqualTupleSets(evalVSA(t, u1, s), evalVSA(t, u2, s)) {
+			t.Errorf("union order-sensitive on %q", s)
+		}
+	}
+}
+
+// TestWideByteClassesThroughJoin: classes spanning word boundaries of the
+// 256-bit bitmap survive intersection in the join.
+func TestWideByteClassesThroughJoin(t *testing.T) {
+	// [\x30-\x7f] ∩ [\x00-\x4f] = [\x30-\x4f]; '@' = 0x40 is inside.
+	a1 := vsa.New(span.NewVarList("x"))
+	m1 := a1.AddState()
+	a1.AddOpen(a1.Init, 0, m1)
+	mid1 := a1.AddState()
+	a1.AddChar(m1, alphabet.Range(0x30, 0x7f), mid1)
+	a1.AddClose(mid1, 0, a1.Final)
+
+	a2 := vsa.New(span.NewVarList("x"))
+	m2 := a2.AddState()
+	a2.AddOpen(a2.Init, 0, m2)
+	mid2 := a2.AddState()
+	a2.AddChar(m2, alphabet.Range(0x00, 0x4f), mid2)
+	a2.AddClose(mid2, 0, a2.Final)
+
+	j, err := vsa.Join(a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := evalVSA(t, j, "@"); len(got) != 1 {
+		t.Errorf("0x40 should match the intersected class, got %d", len(got))
+	}
+	if got := evalVSA(t, j, "p"); len(got) != 0 { // 0x70 outside intersection
+		t.Errorf("0x70 should not match, got %d", len(got))
+	}
+}

@@ -1,0 +1,193 @@
+package vsa
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/span"
+)
+
+// The on-disk format is a small line-oriented text format:
+//
+//	vsa1
+//	vars <v> <name>...
+//	states <n> init <q0> final <qf>
+//	e <p> <q>            ε-transition
+//	c <p> <q> <hex>      character transition (64 hex chars = 256-bit class)
+//	o <p> <var> <q>      open
+//	x <p> <var> <q>      close
+//	end
+//
+// It is stable, human-inspectable, diff-friendly, and fast enough for
+// compiled-spanner caches.
+
+const encodeMagic = "vsa1"
+
+// ErrBadFormat is returned by Decode for malformed input.
+var ErrBadFormat = errors.New("vsa: bad encoding")
+
+// Encode writes the automaton to w in the package's text format.
+func (a *VSA) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, encodeMagic)
+	fmt.Fprintf(bw, "vars %d", len(a.Vars))
+	for _, v := range a.Vars {
+		fmt.Fprintf(bw, " %s", v)
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, "states %d init %d final %d\n", a.NumStates(), a.Init, a.Final)
+	for p, ts := range a.Adj {
+		for _, t := range ts {
+			switch t.Kind {
+			case KEps:
+				fmt.Fprintf(bw, "e %d %d\n", p, t.To)
+			case KChar:
+				fmt.Fprintf(bw, "c %d %d %016x%016x%016x%016x\n", p, t.To,
+					t.Class[0], t.Class[1], t.Class[2], t.Class[3])
+			case KOpen:
+				fmt.Fprintf(bw, "o %d %d %d\n", p, t.Var, t.To)
+			case KClose:
+				fmt.Fprintf(bw, "x %d %d %d\n", p, t.Var, t.To)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// Decode reads an automaton previously written by Encode. Variable names
+// containing whitespace are rejected by Encode's format and cannot occur in
+// parsed patterns (word characters only).
+func Decode(r io.Reader) (*VSA, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscanln(br, &magic); err != nil || magic != encodeMagic {
+		return nil, fmt.Errorf("%w: missing %q header", ErrBadFormat, encodeMagic)
+	}
+	var nv int
+	if _, err := fmt.Fscan(br, &magic, &nv); err != nil || magic != "vars" || nv < 0 {
+		return nil, fmt.Errorf("%w: vars line", ErrBadFormat)
+	}
+	names := make([]string, nv)
+	for i := range names {
+		if _, err := fmt.Fscan(br, &names[i]); err != nil {
+			return nil, fmt.Errorf("%w: variable name: %v", ErrBadFormat, err)
+		}
+	}
+	vars := span.NewVarList(names...)
+	if len(vars) != nv {
+		return nil, fmt.Errorf("%w: duplicate variable names", ErrBadFormat)
+	}
+	var n int
+	var init, final int32
+	if _, err := fmt.Fscan(br, &magic, &n); err != nil || magic != "states" || n < 0 {
+		return nil, fmt.Errorf("%w: states line", ErrBadFormat)
+	}
+	if _, err := fmt.Fscan(br, &magic, &init); err != nil || magic != "init" {
+		return nil, fmt.Errorf("%w: init field", ErrBadFormat)
+	}
+	if _, err := fmt.Fscan(br, &magic, &final); err != nil || magic != "final" {
+		return nil, fmt.Errorf("%w: final field", ErrBadFormat)
+	}
+	a := &VSA{Vars: vars, Adj: make([][]Tr, n), Init: init, Final: final}
+	if int(init) >= n || int(final) >= n || init < 0 || final < 0 {
+		if n > 0 || init != 0 || final != 0 {
+			return nil, fmt.Errorf("%w: initial/final state out of range", ErrBadFormat)
+		}
+	}
+	checkState := func(q int32) error {
+		if q < 0 || int(q) >= n {
+			return fmt.Errorf("%w: state %d out of range", ErrBadFormat, q)
+		}
+		return nil
+	}
+	for {
+		var kind string
+		if _, err := fmt.Fscan(br, &kind); err != nil {
+			return nil, fmt.Errorf("%w: truncated (no end marker)", ErrBadFormat)
+		}
+		if kind == "end" {
+			return a, nil
+		}
+		switch kind {
+		case "e":
+			var p, q int32
+			if _, err := fmt.Fscan(br, &p, &q); err != nil {
+				return nil, fmt.Errorf("%w: ε-transition: %v", ErrBadFormat, err)
+			}
+			if err := errorsJoin(checkState(p), checkState(q)); err != nil {
+				return nil, err
+			}
+			a.AddEps(p, q)
+		case "c":
+			var p, q int32
+			var hex string
+			if _, err := fmt.Fscan(br, &p, &q, &hex); err != nil {
+				return nil, fmt.Errorf("%w: char transition: %v", ErrBadFormat, err)
+			}
+			if err := errorsJoin(checkState(p), checkState(q)); err != nil {
+				return nil, err
+			}
+			cls, err := parseClassHex(hex)
+			if err != nil {
+				return nil, err
+			}
+			a.AddChar(p, cls, q)
+		case "o", "x":
+			var p, v, q int32
+			if _, err := fmt.Fscan(br, &p, &v, &q); err != nil {
+				return nil, fmt.Errorf("%w: variable transition: %v", ErrBadFormat, err)
+			}
+			if err := errorsJoin(checkState(p), checkState(q)); err != nil {
+				return nil, err
+			}
+			if v < 0 || int(v) >= len(vars) {
+				return nil, fmt.Errorf("%w: variable index %d out of range", ErrBadFormat, v)
+			}
+			if kind == "o" {
+				a.AddOpen(p, v, q)
+			} else {
+				a.AddClose(p, v, q)
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown record %q", ErrBadFormat, kind)
+		}
+	}
+}
+
+func parseClassHex(hex string) (alphabet.Class, error) {
+	var c alphabet.Class
+	if len(hex) != 64 {
+		return c, fmt.Errorf("%w: class must be 64 hex digits, got %d", ErrBadFormat, len(hex))
+	}
+	for w := 0; w < 4; w++ {
+		var v uint64
+		for i := 0; i < 16; i++ {
+			d := hex[w*16+i]
+			var nib uint64
+			switch {
+			case d >= '0' && d <= '9':
+				nib = uint64(d - '0')
+			case d >= 'a' && d <= 'f':
+				nib = uint64(d-'a') + 10
+			default:
+				return c, fmt.Errorf("%w: bad hex digit %q", ErrBadFormat, d)
+			}
+			v = v<<4 | nib
+		}
+		c[w] = v
+	}
+	return c, nil
+}
+
+func errorsJoin(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

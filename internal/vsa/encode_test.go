@@ -1,0 +1,117 @@
+package vsa_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+func roundTrip(t *testing.T, a *vsa.VSA) *vsa.VSA {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vsa.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v\nencoding was:\n%s", err, buf.String())
+	}
+	return back
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	patterns := []string{
+		"a", "x{a}", "a*x{a*}a*", ".*x{a+}y{b}.*", "x{.*}y{.*}",
+		`.*m{u{[a-z]+}@d{[a-z]+\.[a-z]+}}.*`,
+	}
+	for _, p := range patterns {
+		a := rgx.MustCompilePattern(p)
+		back := roundTrip(t, a)
+		if back.NumStates() != a.NumStates() || back.NumTransitions() != a.NumTransitions() {
+			t.Fatalf("%q: shape changed: %v vs %v", p, back, a)
+		}
+		if !back.Vars.Equal(a.Vars) {
+			t.Fatalf("%q: vars changed: %v vs %v", p, back.Vars, a.Vars)
+		}
+		for _, s := range []string{"", "a", "ab", "u@a.b"} {
+			want := evalVSA(t, a, s)
+			got := evalVSA(t, back, s)
+			if !oracle.EqualTupleSets(got, want) {
+				t.Fatalf("%q on %q: decoded automaton disagrees", p, s)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRandomAutomata(t *testing.T) {
+	r := rand.New(rand.NewSource(999))
+	vars := span.NewVarList("x", "y")
+	for i := 0; i < 40; i++ {
+		a := oracle.RandomFunctionalVSA(r, vars, 4, 10)
+		back := roundTrip(t, a)
+		for _, s := range []string{"", "ab"} {
+			if !oracle.EqualTupleSets(evalVSA(t, a, s), evalVSA(t, back, s)) {
+				t.Fatalf("trial %d: decoded automaton disagrees", i)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"nope\n",           // wrong magic
+		"vsa1\nvars 1 x\n", // truncated
+		"vsa1\nvars 1 x\nstates 2 init 0 final 5\nend\n",           // final out of range
+		"vsa1\nvars 1 x\nstates 2 init 0 final 1\nz 0 1\n",         // unknown record
+		"vsa1\nvars 1 x\nstates 2 init 0 final 1\no 0 3 1\nend\n",  // var index out of range
+		"vsa1\nvars 1 x\nstates 2 init 0 final 1\nc 0 1 zz\nend\n", // bad class hex
+		"vsa1\nvars 1 x\nstates 2 init 0 final 1\ne 0 9\nend\n",    // state out of range
+		"vsa1\nvars 2 x x\nstates 1 init 0 final 0\nend\n",         // duplicate vars
+	}
+	for _, c := range cases {
+		if _, err := vsa.Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("Decode(%q) should fail", c)
+		}
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a+}.*")
+	var b1, b2 bytes.Buffer
+	if err := a.Encode(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Encode(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("encoding not deterministic")
+	}
+	if !strings.HasPrefix(b1.String(), "vsa1\n") {
+		t.Error("missing magic header")
+	}
+}
+
+func TestDecodedAutomatonUsableEverywhere(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a}y{b}.*")
+	back := roundTrip(t, a)
+	// Functionality, key attributes and enumeration must all work.
+	if !back.IsFunctional() {
+		t.Error("decoded automaton lost functionality")
+	}
+	ok, err := vsa.KeyAttribute(back, "x")
+	if err != nil || !ok {
+		t.Errorf("key attribute on decoded automaton: %v/%v", ok, err)
+	}
+	if _, err := enum.Prepare(back, "ab"); err != nil {
+		t.Errorf("enumeration on decoded automaton: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package vsa
+
+// KeyAttribute decides whether the variable x is a key attribute of the
+// functional vset-automaton A (Prop 3.6): x is a key iff for every string s
+// and tuples µ, µ′ ∈ [[A]](s), µ(x) = µ′(x) implies µ = µ′.
+//
+// The decision procedure is the paper's product construction: simulate two
+// copies of A on a common string, requiring the two runs' variable
+// configurations to agree on x at every character boundary, and track with
+// a flag whether they have disagreed on some other variable. x fails to be
+// a key iff a flagged pair of final states is reachable. Runs in O(n⁴).
+func KeyAttribute(a *VSA, x string) (bool, error) {
+	t, ct, err := a.RequireFunctional()
+	if err != nil {
+		return false, err
+	}
+	xi := t.Vars.Index(x)
+	if xi < 0 {
+		return false, errUnknownVar(x)
+	}
+	if t.NumStates() == 2 && t.NumTransitions() == 0 && t.Init != t.Final {
+		return true, nil // empty language: vacuously a key
+	}
+	cl := t.NewClosures()
+
+	// Tuples are determined by the configuration sequence at the boundary
+	// states q̂_0 … q̂_N (§4.1): q̂_0 ∈ VE(q0), q̂_{i+1} ∈ VE(δ(q̂_i, σ)),
+	// and q̂_N = qf. The product walks pairs of boundary states.
+	type pkey struct {
+		flag   bool
+		q1, q2 int32
+	}
+	seen := make(map[pkey]bool)
+	var queue []pkey
+	push := func(k pkey) {
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, k)
+		}
+	}
+	agreeOnX := func(q1, q2 int32) bool {
+		return ct.Cfg[q1][xi] == ct.Cfg[q2][xi]
+	}
+	// Initial boundary states.
+	for _, q1 := range cl.VE[t.Init] {
+		for _, q2 := range cl.VE[t.Init] {
+			if !agreeOnX(q1, q2) {
+				continue
+			}
+			push(pkey{flag: !ct.Cfg[q1].Equal(ct.Cfg[q2]), q1: q1, q2: q2})
+		}
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		if k.flag && k.q1 == t.Final && k.q2 == t.Final {
+			return false, nil
+		}
+		for _, tr1 := range t.Adj[k.q1] {
+			if tr1.Kind != KChar {
+				continue
+			}
+			for _, tr2 := range t.Adj[k.q2] {
+				if tr2.Kind != KChar {
+					continue
+				}
+				if tr1.Class.Intersect(tr2.Class).IsEmpty() {
+					continue
+				}
+				for _, e1 := range cl.VE[tr1.To] {
+					for _, e2 := range cl.VE[tr2.To] {
+						if !agreeOnX(e1, e2) {
+							continue
+						}
+						push(pkey{
+							flag: k.flag || !ct.Cfg[e1].Equal(ct.Cfg[e2]),
+							q1:   e1, q2: e2,
+						})
+					}
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// HasKeyAttribute reports whether any variable of A is a key attribute —
+// the paper's second example of a polynomially bounded class (§3.3.2).
+func HasKeyAttribute(a *VSA) (string, bool, error) {
+	for _, x := range a.Vars {
+		ok, err := KeyAttribute(a, x)
+		if err != nil {
+			return "", false, err
+		}
+		if ok {
+			return x, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+type errUnknownVar string
+
+func (e errUnknownVar) Error() string { return "vsa: unknown variable " + string(e) }

@@ -1,0 +1,136 @@
+package vsa_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+func TestKeyAttributeExamples(t *testing.T) {
+	cases := []struct {
+		pattern string
+		x       string
+		want    bool
+	}{
+		// x determines the whole (single-variable) tuple trivially.
+		{"a*x{a*}a*", "x", true},
+		// y is pinned to x's right edge: x is a key.
+		{".*x{a}y{b}.*", "x", true},
+		{".*x{a}y{b}.*", "y", true},
+		// x and y are placed independently: neither is a key.
+		{".*x{a}.*y{b}.*", "x", false},
+		{".*x{a}.*y{b}.*", "y", false},
+		// y floats inside x: x is not a key, y is not a key.
+		{".*x{a*y{a}a*}.*", "x", false},
+		// y fixed relative to x start: both key.
+		{".*x{y{a}b}.*", "x", true},
+		{".*x{y{a}b}.*", "y", true},
+	}
+	for _, tc := range cases {
+		a := rgx.MustCompilePattern(tc.pattern)
+		got, err := vsa.KeyAttribute(a, tc.x)
+		if err != nil {
+			t.Fatalf("%q/%s: %v", tc.pattern, tc.x, err)
+		}
+		if got != tc.want {
+			t.Errorf("KeyAttribute(%q, %s) = %v, want %v", tc.pattern, tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestKeyAttributeBruteForce cross-checks the product construction against
+// the definition on bounded strings: for every s up to length 4 over {a,b},
+// no two distinct tuples may share the key variable's span.
+func TestKeyAttributeBruteForce(t *testing.T) {
+	patterns := []string{
+		"a*x{a*}b*",
+		".*x{a}y{.}.*",
+		".*x{.}.*y{.}.*",
+		"x{.*}y{.*}",
+		".*x{a+}.*",
+		"x{.*}",
+		".*x{y{}.*}.*",
+	}
+	var strs []string
+	for n := 0; n <= 4; n++ {
+		strs = append(strs, enumerateStrings(n)...)
+	}
+	for _, p := range patterns {
+		a := rgx.MustCompilePattern(p)
+		for _, x := range a.Vars {
+			got, err := vsa.KeyAttribute(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceKey(t, a, x, strs)
+			if got != want {
+				t.Errorf("KeyAttribute(%q, %s) = %v, brute force (≤4 chars) says %v", p, x, got, want)
+			}
+		}
+	}
+}
+
+func bruteForceKey(t *testing.T, a *vsa.VSA, x string, strs []string) bool {
+	t.Helper()
+	xi := a.Vars.Index(x)
+	for _, s := range strs {
+		_, tuples, err := enum.Eval(a, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[span.Span]string{}
+		for _, tu := range tuples {
+			if prev, ok := seen[tu[xi]]; ok && prev != tu.Key() {
+				return false
+			}
+			seen[tu[xi]] = tu.Key()
+		}
+	}
+	return true
+}
+
+func enumerateStrings(n int) []string {
+	if n == 0 {
+		return []string{""}
+	}
+	var out []string
+	for _, s := range enumerateStrings(n - 1) {
+		out = append(out, s+"a", s+"b")
+	}
+	return out
+}
+
+func TestHasKeyAttribute(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a}y{b}.*")
+	name, ok, err := vsa.HasKeyAttribute(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || name == "" {
+		t.Errorf("expected a key attribute, got %q/%v", name, ok)
+	}
+	b := rgx.MustCompilePattern(".*x{a}.*y{b}.*")
+	_, ok, err = vsa.HasKeyAttribute(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("independent variables should have no key attribute")
+	}
+}
+
+func TestKeyAttributeUnknownVariable(t *testing.T) {
+	a := rgx.MustCompilePattern("x{a}")
+	if _, err := vsa.KeyAttribute(a, "nope"); err == nil {
+		t.Error("unknown variable must error")
+	}
+}
+
+func TestKeyAttributeRequiresFunctional(t *testing.T) {
+	if _, err := vsa.KeyAttribute(example26A(), "x"); err == nil {
+		t.Error("non-functional automaton must error")
+	}
+}

@@ -1,0 +1,360 @@
+package vsa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/enum"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+func evalVSA(t *testing.T, a *vsa.VSA, s string) []span.Tuple {
+	t.Helper()
+	_, tuples, err := enum.Eval(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tuples
+}
+
+// relProject computes the relational projection of tuples for comparison.
+func relProject(vars, keep span.VarList, tuples []span.Tuple) []span.Tuple {
+	kept := vars.Intersect(keep)
+	seen := map[string]bool{}
+	var out []span.Tuple
+	for _, tu := range tuples {
+		p := make(span.Tuple, len(kept))
+		for i, v := range kept {
+			p[i] = tu[vars.Index(v)]
+		}
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// relJoin computes the relational natural join of two tuple sets.
+func relJoin(v1, v2 span.VarList, t1, t2 []span.Tuple) (span.VarList, []span.Tuple) {
+	joint := v1.Union(v2)
+	var out []span.Tuple
+	seen := map[string]bool{}
+	for _, a := range t1 {
+		for _, b := range t2 {
+			ok := true
+			for _, v := range v1.Intersect(v2) {
+				if a[v1.Index(v)] != b[v2.Index(v)] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			tu := make(span.Tuple, len(joint))
+			for i, v := range joint {
+				if k := v1.Index(v); k >= 0 {
+					tu[i] = a[k]
+				} else {
+					tu[i] = b[v2.Index(v)]
+				}
+			}
+			if !seen[tu.Key()] {
+				seen[tu.Key()] = true
+				out = append(out, tu)
+			}
+		}
+	}
+	return joint, out
+}
+
+func TestProjectAgainstRelationalSemantics(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a+}y{b+}.*")
+	strs := []string{"ab", "aabb", "abab", ""}
+	for _, keep := range []span.VarList{
+		span.NewVarList("x"),
+		span.NewVarList("y"),
+		span.NewVarList("x", "y"),
+		nil,
+	} {
+		p, err := vsa.Project(a, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsFunctional() {
+			t.Fatalf("projection to %v not functional", keep)
+		}
+		for _, s := range strs {
+			got := evalVSA(t, p, s)
+			want := relProject(a.Vars, keep, evalVSA(t, a, s))
+			if !oracle.EqualTupleSets(got, want) {
+				t.Errorf("π_%v on %q: got %v, want %v", keep, s, got, want)
+			}
+		}
+	}
+}
+
+func TestProjectRequiresFunctional(t *testing.T) {
+	if _, err := vsa.Project(example26A(), nil); err == nil {
+		t.Error("projection of a non-functional automaton must fail")
+	}
+}
+
+func TestUnionAgainstRelationalSemantics(t *testing.T) {
+	a1 := rgx.MustCompilePattern(".*x{a}.*")
+	a2 := rgx.MustCompilePattern(".*x{b}.*")
+	a3 := rgx.MustCompilePattern("x{.*}")
+	u, err := vsa.Union(a1, a2, a3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.IsFunctional() {
+		t.Fatal("union not functional")
+	}
+	for _, s := range []string{"", "a", "ab", "ba", "bb"} {
+		seen := map[string]bool{}
+		var want []span.Tuple
+		for _, ai := range []*vsa.VSA{a1, a2, a3} {
+			for _, tu := range evalVSA(t, ai, s) {
+				if !seen[tu.Key()] {
+					seen[tu.Key()] = true
+					want = append(want, tu)
+				}
+			}
+		}
+		got := evalVSA(t, u, s)
+		if !oracle.EqualTupleSets(got, want) {
+			t.Errorf("union on %q: got %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestUnionRequiresSameVars(t *testing.T) {
+	a1 := rgx.MustCompilePattern("x{a}")
+	a2 := rgx.MustCompilePattern("y{a}")
+	if _, err := vsa.Union(a1, a2); err == nil {
+		t.Error("union with different variable sets must fail")
+	}
+	if _, err := vsa.Union(); err == nil {
+		t.Error("empty union must fail")
+	}
+}
+
+func TestJoinAgainstRelationalSemantics(t *testing.T) {
+	cases := []struct {
+		p1, p2 string
+		strs   []string
+	}{
+		// Disjoint variables: cross product filtered by the shared string.
+		{".*x{a}.*", ".*y{b}.*", []string{"ab", "ba", "aabb", ""}},
+		// Shared variable: spans must coincide exactly.
+		{".*x{a+}.*", ".*x{aa}.*", []string{"aa", "aaa", "a"}},
+		// Shared + private variables.
+		{".*x{a}y{b}.*", ".*y{b}z{a}.*", []string{"aba", "abba", "ab"}},
+		// The paper's subspan formula joined with a token extractor.
+		{".*x{.*y{.*}.*}.*", ".*y{ab}.*", []string{"ab", "aab", "abb"}},
+		// Empty-span interplay.
+		{"x{}.*", ".*x{}", []string{"", "a", "ab"}},
+		// Variables opened/closed at the same boundary in different orders.
+		{"x{y{a}}", "y{x{a}}", []string{"a", "aa"}},
+	}
+	for _, tc := range cases {
+		a1 := rgx.MustCompilePattern(tc.p1)
+		a2 := rgx.MustCompilePattern(tc.p2)
+		j, err := vsa.Join(a1, a2)
+		if err != nil {
+			t.Fatalf("join(%q,%q): %v", tc.p1, tc.p2, err)
+		}
+		if !j.IsFunctional() {
+			t.Fatalf("join(%q,%q) not functional", tc.p1, tc.p2)
+		}
+		for _, s := range tc.strs {
+			wantVars, want := relJoin(a1.Vars, a2.Vars, evalVSA(t, a1, s), evalVSA(t, a2, s))
+			if !j.Vars.Equal(wantVars) {
+				t.Fatalf("join vars %v, want %v", j.Vars, wantVars)
+			}
+			got := evalVSA(t, j, s)
+			if !oracle.EqualTupleSets(got, want) {
+				t.Errorf("join(%q,%q) on %q: got %v, want %v", tc.p1, tc.p2, s, got, want)
+			}
+		}
+	}
+}
+
+func TestJoinCommutes(t *testing.T) {
+	a1 := rgx.MustCompilePattern(".*x{a+}y{b}.*")
+	a2 := rgx.MustCompilePattern(".*y{b}z{a*}.*")
+	j12, err := vsa.Join(a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j21, err := vsa.Join(a2, a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"ab", "aba", "abaa", "ba"} {
+		g1 := evalVSA(t, j12, s)
+		g2 := evalVSA(t, j21, s)
+		if !oracle.EqualTupleSets(g1, g2) {
+			t.Errorf("join not commutative on %q: %v vs %v", s, g1, g2)
+		}
+	}
+}
+
+func TestJoinWithEmptySide(t *testing.T) {
+	a1 := rgx.MustCompilePattern("x{a}")
+	empty := vsa.New(span.NewVarList("y"))
+	j, err := vsa.Join(a1, empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Vars.Equal(span.NewVarList("x", "y")) {
+		t.Errorf("join vars = %v", j.Vars)
+	}
+	if got := evalVSA(t, j, "a"); len(got) != 0 {
+		t.Errorf("join with ∅ produced %v", got)
+	}
+}
+
+func TestJoinRandomAgainstRelationalSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	pats := []string{
+		".*x{a+}.*", ".*x{a}y{.}.*", "x{.*}", ".*y{b?}.*", ".*x{.}.*y{.}.*",
+		"y{.*}", ".*x{ab}.*", ".*y{a|b}.*",
+	}
+	for i := 0; i < 40; i++ {
+		p1 := pats[r.Intn(len(pats))]
+		p2 := pats[r.Intn(len(pats))]
+		a1 := rgx.MustCompilePattern(p1)
+		a2 := rgx.MustCompilePattern(p2)
+		j, err := vsa.Join(a1, a2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := randStr(r, r.Intn(4))
+		wantVars, want := relJoin(a1.Vars, a2.Vars, evalVSA(t, a1, s), evalVSA(t, a2, s))
+		_ = wantVars
+		got := evalVSA(t, j, s)
+		if !oracle.EqualTupleSets(got, want) {
+			t.Errorf("join(%q,%q) on %q: got %d tuples, want %d", p1, p2, s, len(got), len(want))
+		}
+	}
+}
+
+func TestJoinAllAssociative(t *testing.T) {
+	ps := []string{".*x{a}.*", ".*y{b}.*", ".*z{.}.*"}
+	as := make([]*vsa.VSA, len(ps))
+	for i, p := range ps {
+		as[i] = rgx.MustCompilePattern(p)
+	}
+	j1, err := vsa.JoinAll(as...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2a, err := vsa.Join(as[1], as[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := vsa.Join(as[0], j2a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"ab", "ba", "abc"} {
+		g1 := evalVSA(t, j1, s)
+		g2 := evalVSA(t, j2, s)
+		if !oracle.EqualTupleSets(g1, g2) {
+			t.Errorf("associativity broken on %q", s)
+		}
+	}
+}
+
+func TestFunctionalizeExample26(t *testing.T) {
+	a := example26A()
+	f := vsa.Functionalize(a)
+	if !f.IsFunctional() {
+		t.Fatal("Functionalize result not functional")
+	}
+	for _, s := range []string{"", "a", "aa", "aaa", "ab"} {
+		want := oracle.EvalVSA(a, s) // oracle respects validity
+		got := evalVSA(t, f, s)
+		if !oracle.EqualTupleSets(got, want) {
+			t.Errorf("on %q: got %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestFunctionalizeBlowupBound(t *testing.T) {
+	// v self-loop variables on a single state: functionalization must stay
+	// within n·3^v states.
+	for v := 1; v <= 4; v++ {
+		vars := make([]string, v)
+		for i := range vars {
+			vars[i] = string(rune('a'+i)) + "v"
+		}
+		a := &vsa.VSA{Vars: span.NewVarList(vars...), Adj: make([][]vsa.Tr, 1), Init: 0, Final: 0}
+		for i := 0; i < v; i++ {
+			a.AddOpen(0, int32(i), 0)
+			a.AddClose(0, int32(i), 0)
+		}
+		a.AddChar(0, alphabet.Single('a'), 0)
+		f := vsa.Functionalize(a)
+		bound := 1
+		for i := 0; i < v; i++ {
+			bound *= 3
+		}
+		if f.NumStates() > bound {
+			t.Errorf("v=%d: %d states > 3^v = %d", v, f.NumStates(), bound)
+		}
+		if !f.IsFunctional() {
+			t.Errorf("v=%d: not functional", v)
+		}
+	}
+}
+
+func TestFunctionalizeIdempotentOnFunctional(t *testing.T) {
+	a := rgx.MustCompilePattern(".*x{a+}y{b}.*")
+	f := vsa.Functionalize(a)
+	for _, s := range []string{"ab", "aab", "ba"} {
+		got := evalVSA(t, f, s)
+		want := evalVSA(t, a, s)
+		if !oracle.EqualTupleSets(got, want) {
+			t.Errorf("functionalize changed [[A]] on %q", s)
+		}
+	}
+}
+
+func randStr(r *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(2))
+	}
+	return string(b)
+}
+
+// TestFunctionalizeRandomAgainstOracle: functionalization of arbitrary
+// random automata must preserve [[A]] exactly (the oracle evaluates
+// non-functional automata directly by checking ref-word validity).
+func TestFunctionalizeRandomAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7777))
+	vars := span.NewVarList("x", "y")
+	for i := 0; i < 80; i++ {
+		raw := oracle.RandomVSA(r, vars, 3, 8)
+		f := vsa.Functionalize(raw)
+		if !f.IsFunctional() {
+			t.Fatalf("trial %d: result not functional", i)
+		}
+		for _, s := range []string{"", "a", "ab", "ba"} {
+			want := oracle.EvalVSA(raw, s)
+			got := oracle.EvalVSA(f, s)
+			if !oracle.EqualTupleSets(got, want) {
+				t.Fatalf("trial %d on %q: functionalize changed the spanner (%d vs %d tuples)",
+					i, s, len(got), len(want))
+			}
+		}
+	}
+}

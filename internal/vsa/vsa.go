@@ -1,0 +1,267 @@
+// Package vsa implements variable-set automata (vset-automata, paper
+// §2.2.3): ε-NFAs over Σ extended with transitions labelled by variable
+// operations x⊢ (open) and ⊣x (close).
+//
+// A vset-automaton A over variables V accepts ref-words over Σ ∪ Γ_V; the
+// spanner [[A]] maps a string s to the set of (V,s)-tuples µ_r of the valid
+// accepted ref-words r with clr(r) = s. The package provides:
+//
+//   - the automaton model with byte-class character transitions,
+//   - variable configurations and the functionality test (Thm 2.7),
+//   - trimming and ε/variable closures,
+//   - the spanner algebra: projection (Lemma 3.8), union (Lemma 3.9),
+//     natural join (Lemma 3.10),
+//   - functionalization of arbitrary vset-automata (state × configuration
+//     product, exponential in |V| as per Freydenberger [15]),
+//   - the key-attribute test (Prop 3.6).
+//
+// Enumeration of [[A]](s) lives in package enum.
+package vsa
+
+import (
+	"fmt"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/span"
+)
+
+// Kind distinguishes the transition labels of a vset-automaton.
+type Kind uint8
+
+const (
+	// KEps is an ε-transition.
+	KEps Kind = iota
+	// KChar is a terminal transition labelled with a byte class ⊆ Σ.
+	KChar
+	// KOpen is a variable transition labelled x⊢.
+	KOpen
+	// KClose is a variable transition labelled ⊣x.
+	KClose
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KEps:
+		return "ε"
+	case KChar:
+		return "char"
+	case KOpen:
+		return "open"
+	case KClose:
+		return "close"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Tr is a single transition. For KChar, Class is the label; for KOpen and
+// KClose, Var indexes into the automaton's variable list.
+type Tr struct {
+	Kind  Kind
+	Var   int32
+	Class alphabet.Class
+	To    int32
+}
+
+// VSA is a vset-automaton A = (V, Q, q0, qf, δ) with a single initial and a
+// single final state. States are dense integers 0..NumStates()-1; Adj[q]
+// lists the outgoing transitions of q.
+type VSA struct {
+	// Vars is the sorted variable list V; transition Var fields index it.
+	Vars span.VarList
+	// Adj is the adjacency list: Adj[q] are the transitions leaving q.
+	Adj [][]Tr
+	// Init and Final are q0 and qf.
+	Init, Final int32
+}
+
+// New returns an automaton over the given variables with two states:
+// state 0 (initial) and state 1 (final), and no transitions. Its language
+// is empty until transitions are added.
+func New(vars span.VarList) *VSA {
+	return &VSA{Vars: vars, Adj: make([][]Tr, 2), Init: 0, Final: 1}
+}
+
+// AddState appends a fresh state and returns its id.
+func (a *VSA) AddState() int32 {
+	a.Adj = append(a.Adj, nil)
+	return int32(len(a.Adj) - 1)
+}
+
+// NumStates returns |Q|.
+func (a *VSA) NumStates() int { return len(a.Adj) }
+
+// NumTransitions returns the total transition count m.
+func (a *VSA) NumTransitions() int {
+	m := 0
+	for _, ts := range a.Adj {
+		m += len(ts)
+	}
+	return m
+}
+
+// AddEps adds an ε-transition p → q.
+func (a *VSA) AddEps(p, q int32) {
+	a.Adj[p] = append(a.Adj[p], Tr{Kind: KEps, To: q})
+}
+
+// AddChar adds a terminal transition p → q labelled with the byte class c.
+func (a *VSA) AddChar(p int32, c alphabet.Class, q int32) {
+	a.Adj[p] = append(a.Adj[p], Tr{Kind: KChar, Class: c, To: q})
+}
+
+// AddOpen adds a variable transition p → q labelled x⊢ for the variable
+// with index v in a.Vars.
+func (a *VSA) AddOpen(p, v, q int32) {
+	a.Adj[p] = append(a.Adj[p], Tr{Kind: KOpen, Var: v, To: q})
+}
+
+// AddClose adds a variable transition p → q labelled ⊣x.
+func (a *VSA) AddClose(p, v, q int32) {
+	a.Adj[p] = append(a.Adj[p], Tr{Kind: KClose, Var: v, To: q})
+}
+
+// VarIndex returns the index of the named variable, or -1.
+func (a *VSA) VarIndex(name string) int32 { return int32(a.Vars.Index(name)) }
+
+// Clone returns a deep copy of the automaton.
+func (a *VSA) Clone() *VSA {
+	adj := make([][]Tr, len(a.Adj))
+	for i, ts := range a.Adj {
+		adj[i] = append([]Tr(nil), ts...)
+	}
+	return &VSA{Vars: append(span.VarList(nil), a.Vars...), Adj: adj, Init: a.Init, Final: a.Final}
+}
+
+// Trim returns an equivalent automaton containing only useful states: those
+// reachable from Init and co-reachable from Final. If no accepting path
+// exists, the result is an empty-language automaton over the same variables.
+// Trimming never changes [[A]].
+func (a *VSA) Trim() *VSA {
+	n := len(a.Adj)
+	fwd := make([]bool, n)
+	stack := []int32{a.Init}
+	fwd[a.Init] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.Adj[q] {
+			if !fwd[t.To] {
+				fwd[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	// Reverse adjacency for co-reachability.
+	radj := make([][]int32, n)
+	for p, ts := range a.Adj {
+		for _, t := range ts {
+			radj[t.To] = append(radj[t.To], int32(p))
+		}
+	}
+	bwd := make([]bool, n)
+	stack = append(stack, a.Final)
+	bwd[a.Final] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range radj[q] {
+			if !bwd[p] {
+				bwd[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	if !fwd[a.Final] || !bwd[a.Init] {
+		return New(a.Vars)
+	}
+	remap := make([]int32, n)
+	for i := range remap {
+		remap[i] = -1
+	}
+	out := &VSA{Vars: a.Vars}
+	for q := 0; q < n; q++ {
+		if fwd[q] && bwd[q] {
+			remap[q] = out.AddState()
+		}
+	}
+	// Rebuild adjacency with remapped ids.
+	for q := 0; q < n; q++ {
+		if remap[q] < 0 {
+			continue
+		}
+		for _, t := range a.Adj[q] {
+			if remap[t.To] < 0 {
+				continue
+			}
+			nt := t
+			nt.To = remap[t.To]
+			out.Adj[remap[q]] = append(out.Adj[remap[q]], nt)
+		}
+	}
+	out.Init = remap[a.Init]
+	out.Final = remap[a.Final]
+	return out
+}
+
+// IsEmptyLanguage reports whether the automaton trivially has no accepting
+// path (checked by reachability; sound and complete for R(A) = ∅).
+func (a *VSA) IsEmptyLanguage() bool {
+	t := a.Trim()
+	return t.NumStates() == 2 && t.NumTransitions() == 0 && !(a.Init == a.Final)
+}
+
+// Closures holds the memoized ε-closure E and variable-ε-closure VE of every
+// state (paper, proofs of Thm 3.3 and Lemma 3.10):
+//
+//	E(q)  = states reachable from q using only ε-transitions,
+//	VE(q) = states reachable using only ε- and variable transitions.
+//
+// Both include q itself.
+type Closures struct {
+	Eps [][]int32
+	VE  [][]int32
+}
+
+// NewClosures computes both closures for every state in O(n(n+m)).
+func (a *VSA) NewClosures() *Closures {
+	n := len(a.Adj)
+	c := &Closures{Eps: make([][]int32, n), VE: make([][]int32, n)}
+	for q := 0; q < n; q++ {
+		c.Eps[q] = a.closureFrom(int32(q), false)
+		c.VE[q] = a.closureFrom(int32(q), true)
+	}
+	return c
+}
+
+func (a *VSA) closureFrom(q int32, withVars bool) []int32 {
+	seen := make([]bool, len(a.Adj))
+	seen[q] = true
+	order := []int32{q}
+	for i := 0; i < len(order); i++ {
+		for _, t := range a.Adj[order[i]] {
+			ok := t.Kind == KEps || (withVars && (t.Kind == KOpen || t.Kind == KClose))
+			if ok && !seen[t.To] {
+				seen[t.To] = true
+				order = append(order, t.To)
+			}
+		}
+	}
+	return order
+}
+
+// CharTrans returns the character transitions leaving q.
+func (a *VSA) CharTrans(q int32) []Tr {
+	var out []Tr
+	for _, t := range a.Adj[q] {
+		if t.Kind == KChar {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String summarizes the automaton for debugging.
+func (a *VSA) String() string {
+	return fmt.Sprintf("VSA(vars=%v states=%d transitions=%d init=%d final=%d)",
+		a.Vars, a.NumStates(), a.NumTransitions(), a.Init, a.Final)
+}

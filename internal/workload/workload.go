@@ -1,0 +1,169 @@
+// Package workload generates seeded synthetic inputs for the example
+// programs, tests and benchmark harness: natural-language-like documents
+// with sentence boundaries, addresses and tokens (substituting for the
+// corpora the paper's introduction alludes to), machine logs, random
+// graphs, random 3CNF formulas and random strings.
+//
+// All generators are deterministic given a seed, so every experiment in
+// EXPERIMENTS.md is reproducible bit for bit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"spanjoin/internal/reductions"
+)
+
+// Rand returns the deterministic source used across the harness.
+func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// RandomString returns a length-n string over the first k letters of the
+// alphabet (k ≤ 26).
+func RandomString(r *rand.Rand, n, k int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(k))
+	}
+	return string(b)
+}
+
+// RepetitiveString returns a length-n string built from repetitions of a
+// short seed word — high self-similarity stresses the A_eq construction.
+func RepetitiveString(r *rand.Rand, n int) string {
+	word := RandomString(r, r.Intn(3)+1, 2)
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(word)
+	}
+	return sb.String()[:n]
+}
+
+var (
+	subjects = []string{"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"}
+	verbs    = []string{"visited", "reported", "called", "left", "found", "mailed", "met", "phoned"}
+	objects  = []string{"the office", "a shop", "the station", "a museum", "the bank", "a cafe"}
+	cities   = []string{"Bruxelles", "Gent", "Liege", "Antwerpen", "Namur", "Leuven"}
+	streets  = []string{"Nation", "Loi", "Midi", "Palais", "Arts", "Science"}
+	fillers  = []string{"yesterday", "today", "quietly", "twice", "again", "soon"}
+)
+
+// DocumentOptions tune the synthetic document generator.
+type DocumentOptions struct {
+	// Sentences is the number of sentences to generate.
+	Sentences int
+	// AddressRate ∈ [0,1]: fraction of sentences containing a Belgium
+	// address ("<street> <num> <zip> <city> Belgium").
+	AddressRate float64
+	// PoliceRate ∈ [0,1]: fraction of sentences containing the token
+	// "police".
+	PoliceRate float64
+	// EmailRate ∈ [0,1]: fraction of sentences containing an e-mail
+	// address.
+	EmailRate float64
+}
+
+// Document generates a synthetic text: '.'-terminated sentences over
+// lower-case words, optionally seeded with Belgium addresses, the token
+// police, and e-mail addresses — the features targeted by the paper's
+// example queries (intro query (1), Example 2.5).
+func Document(r *rand.Rand, opt DocumentOptions) string {
+	var sb strings.Builder
+	for i := 0; i < opt.Sentences; i++ {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		words := []string{pick(r, subjects), pick(r, verbs), pick(r, objects)}
+		if r.Float64() < opt.AddressRate {
+			words = append(words, "at", pick(r, streets),
+				fmt.Sprintf("%d %d", r.Intn(90)+10, r.Intn(9000)+1000),
+				pick(r, cities), "Belgium")
+		}
+		if r.Float64() < opt.PoliceRate {
+			words = append(words, "near", "police")
+		}
+		if r.Float64() < opt.EmailRate {
+			words = append(words, "cc", pick(r, subjects)+"@"+pick(r, []string{"example", "mail", "dev"})+".org")
+		}
+		words = append(words, pick(r, fillers))
+		sb.WriteString(strings.Join(words, " "))
+		sb.WriteString(".")
+	}
+	return sb.String()
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// LogLine is a synthetic machine-log record.
+var logLevels = []string{"INFO", "WARN", "ERROR", "DEBUG"}
+var logOps = []string{"open", "close", "read", "write", "sync", "retry"}
+
+// Logs generates n machine-log lines of the form
+// "ts=<t> level=<LEVEL> op=<op> id=<hex> msg=<words>\n" — the workload for
+// the log-analysis example and the E7 benchmarks.
+func Logs(r *rand.Rand, n int) string {
+	var sb strings.Builder
+	t := 1700000000
+	for i := 0; i < n; i++ {
+		t += r.Intn(30)
+		fmt.Fprintf(&sb, "ts=%d level=%s op=%s id=%04x msg=%s %s\n",
+			t, pick(r, logLevels), pick(r, logOps), r.Intn(1<<16),
+			pick(r, subjects), pick(r, fillers))
+	}
+	return sb.String()
+}
+
+// RandomGraph returns G(n, p) with nodes 1..n.
+func RandomGraph(r *rand.Rand, n int, p float64) *reductions.Graph {
+	g := &reductions.Graph{N: n}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			if r.Float64() < p {
+				g.Edges = append(g.Edges, [2]int{i, j})
+			}
+		}
+	}
+	return g
+}
+
+// PlantClique adds a guaranteed k-clique over random nodes to g and returns
+// the clique members.
+func PlantClique(r *rand.Rand, g *reductions.Graph, k int) []int {
+	perm := r.Perm(g.N)
+	nodes := make([]int, k)
+	for i := 0; i < k; i++ {
+		nodes[i] = perm[i] + 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				a, b := nodes[i], nodes[j]
+				if a > b {
+					a, b = b, a
+				}
+				g.Edges = append(g.Edges, [2]int{a, b})
+			}
+		}
+	}
+	return nodes
+}
+
+// RandomCNF returns a random 3CNF with n variables and m clauses, each
+// clause over three distinct variables.
+func RandomCNF(r *rand.Rand, n, m int) *reductions.CNF {
+	c := &reductions.CNF{NumVars: n}
+	for i := 0; i < m; i++ {
+		perm := r.Perm(n)
+		var cl reductions.Clause
+		for j := 0; j < 3; j++ {
+			l := reductions.Lit(perm[j] + 1)
+			if r.Intn(2) == 0 {
+				l = -l
+			}
+			cl[j] = l
+		}
+		c.Clauses = append(c.Clauses, cl)
+	}
+	return c
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Document(Rand(7), DocumentOptions{Sentences: 20, AddressRate: 0.5, PoliceRate: 0.5, EmailRate: 0.5})
+	b := Document(Rand(7), DocumentOptions{Sentences: 20, AddressRate: 0.5, PoliceRate: 0.5, EmailRate: 0.5})
+	if a != b {
+		t.Error("Document not deterministic for equal seeds")
+	}
+	if Logs(Rand(3), 10) != Logs(Rand(3), 10) {
+		t.Error("Logs not deterministic")
+	}
+	g1 := RandomGraph(Rand(5), 10, 0.4)
+	g2 := RandomGraph(Rand(5), 10, 0.4)
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Error("RandomGraph not deterministic")
+	}
+}
+
+func TestDocumentFeatures(t *testing.T) {
+	doc := Document(Rand(11), DocumentOptions{Sentences: 50, AddressRate: 1, PoliceRate: 1, EmailRate: 1})
+	if !strings.Contains(doc, "Belgium") {
+		t.Error("rate-1 document lacks Belgium")
+	}
+	if !strings.Contains(doc, "police") {
+		t.Error("rate-1 document lacks police")
+	}
+	if !strings.Contains(doc, "@") {
+		t.Error("rate-1 document lacks e-mail")
+	}
+	if strings.Count(doc, ".") < 50 {
+		t.Errorf("want ≥50 sentence terminators, got %d", strings.Count(doc, "."))
+	}
+	none := Document(Rand(11), DocumentOptions{Sentences: 30})
+	if strings.Contains(none, "Belgium") || strings.Contains(none, "police") {
+		t.Error("rate-0 document has features")
+	}
+}
+
+func TestRandomString(t *testing.T) {
+	s := RandomString(Rand(1), 100, 2)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != 'a' && s[i] != 'b' {
+			t.Fatalf("unexpected byte %q", s[i])
+		}
+	}
+}
+
+func TestRepetitiveString(t *testing.T) {
+	s := RepetitiveString(Rand(2), 64)
+	if len(s) != 64 {
+		t.Fatalf("len = %d", len(s))
+	}
+}
+
+func TestLogsShape(t *testing.T) {
+	logs := Logs(Rand(9), 25)
+	lines := strings.Split(strings.TrimSuffix(logs, "\n"), "\n")
+	if len(lines) != 25 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, ln := range lines {
+		for _, field := range []string{"ts=", "level=", "op=", "id=", "msg="} {
+			if !strings.Contains(ln, field) {
+				t.Fatalf("line %q lacks %s", ln, field)
+			}
+		}
+	}
+}
+
+func TestRandomGraphBounds(t *testing.T) {
+	g := RandomGraph(Rand(4), 8, 1.0)
+	if len(g.Edges) != 8*7/2 {
+		t.Errorf("p=1 graph has %d edges, want %d", len(g.Edges), 28)
+	}
+	empty := RandomGraph(Rand(4), 8, 0)
+	if len(empty.Edges) != 0 {
+		t.Error("p=0 graph has edges")
+	}
+}
+
+func TestPlantClique(t *testing.T) {
+	g := RandomGraph(Rand(6), 10, 0.1)
+	nodes := PlantClique(Rand(7), g, 4)
+	if len(nodes) != 4 {
+		t.Fatalf("planted %d nodes", len(nodes))
+	}
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if !g.HasEdge(nodes[i], nodes[j]) {
+				t.Fatal("planted clique incomplete")
+			}
+		}
+	}
+}
+
+func TestRandomCNFShape(t *testing.T) {
+	c := RandomCNF(Rand(8), 6, 12)
+	if c.NumVars != 6 || len(c.Clauses) != 12 {
+		t.Fatalf("shape: %d vars, %d clauses", c.NumVars, len(c.Clauses))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range c.Clauses {
+		vars := map[int]bool{}
+		for _, l := range cl {
+			v := int(l)
+			if v < 0 {
+				v = -v
+			}
+			vars[v] = true
+		}
+		if len(vars) != 3 {
+			t.Fatalf("clause %v has %d distinct vars, want 3", cl, len(vars))
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package spanjoin
+
+import "fmt"
+
+// Prebuilt pattern constructors for the relations that recur throughout the
+// paper's examples: containment (α_sub), tokens, and sentence segmentation.
+// Each returns a pattern string for use as an Atom or with Compile.
+
+// SubspanPattern returns the paper's α_sub[inner, outer]: all pairs where
+// inner's span lies within outer's (both spans range over the whole
+// document): Σ* outer{Σ* inner{Σ*} Σ*} Σ*.
+func SubspanPattern(inner, outer string) string {
+	return fmt.Sprintf(".*%s{.*%s{.*}.*}.*", outer, inner)
+}
+
+// TokenPattern returns a pattern binding x to one whitespace-delimited
+// occurrence of the given word (documents are searched, so wrap nothing).
+// The token must be preceded and followed by space, punctuation handled by
+// the boundary class.
+func TokenPattern(x, word string) string {
+	return fmt.Sprintf(`(.*[ .])?%s{%s}([ .].*)?`, x, escapeLiteral(word))
+}
+
+// WordPattern binds x to any maximal run of lowercase letters delimited by
+// the boundary class [ .].
+func WordPattern(x string) string {
+	return fmt.Sprintf(`(.*[ .])?%s{[a-z]+}([ .].*)?`, x)
+}
+
+// SentencePattern binds x to one '.'-terminated sentence (a run of letters,
+// digits and spaces ending in '.'), starting at the document start or after
+// a sentence boundary ". ".
+func SentencePattern(x string) string {
+	return fmt.Sprintf(`(.*\. )?%s{[A-Za-z0-9 ]+\.}( .*)?`, x)
+}
+
+// escapeLiteral escapes pattern metacharacters in a literal word.
+func escapeLiteral(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\', '.', '*', '+', '?', '|', '(', ')', '[', ']', '{', '}', '-', '^':
+			out = append(out, '\\')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

@@ -1,0 +1,115 @@
+package spanjoin_test
+
+import (
+	"strings"
+	"testing"
+
+	"spanjoin"
+)
+
+func TestSubspanPattern(t *testing.T) {
+	sp := spanjoin.MustCompile(spanjoin.SubspanPattern("y", "x"))
+	doc := "abc"
+	ms, err := sp.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		x, _ := m.Span("x")
+		y, _ := m.Span("y")
+		if !x.Contains(y) {
+			t.Fatalf("α_sub violated: %v not within %v", y, x)
+		}
+	}
+	// All pairs (x, y) with y ⊆ x over a 3-char string:
+	// Σ_x over spans of #subspans of x = Σ_{len} (4-len choose 1)(len+1)(len+2)/2.
+	want := 0
+	for xs := 1; xs <= 4; xs++ {
+		for xe := xs; xe <= 4; xe++ {
+			l := xe - xs
+			want += (l + 1) * (l + 2) / 2
+		}
+	}
+	if len(ms) != want {
+		t.Errorf("got %d pairs, want %d", len(ms), want)
+	}
+}
+
+func TestTokenPattern(t *testing.T) {
+	sp := spanjoin.MustCompile(spanjoin.TokenPattern("w", "police"))
+	cases := map[string]int{
+		"police here.":            1,
+		"the police are here.":    1,
+		"apolice policeman here.": 0, // must be delimited
+		"police police.":          2,
+		"nothing.":                0,
+	}
+	for doc, want := range cases {
+		ms, err := sp.Eval(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != want {
+			t.Errorf("token on %q: %d, want %d", doc, len(ms), want)
+		}
+		for _, m := range ms {
+			if m.MustSubstr("w") != "police" {
+				t.Errorf("token captured %q", m.MustSubstr("w"))
+			}
+		}
+	}
+	// Metacharacters in the word are escaped.
+	esc := spanjoin.MustCompile(spanjoin.TokenPattern("w", "a.b"))
+	ms, err := esc.Eval("a.b here.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Errorf("escaped token: %d matches", len(ms))
+	}
+	if ms2, _ := esc.Eval("axb here."); len(ms2) != 0 {
+		t.Error("dot must be literal after escaping")
+	}
+}
+
+func TestSentencePattern(t *testing.T) {
+	sp := spanjoin.MustCompile(spanjoin.SentencePattern("s"))
+	doc := "First one here. Second one there. Third."
+	ms, err := sp.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, m := range ms {
+		got[m.MustSubstr("s")] = true
+	}
+	for _, want := range []string{"First one here.", "Second one there.", "Third."} {
+		if !got[want] {
+			t.Errorf("missing sentence %q (got %v)", want, got)
+		}
+	}
+	if len(ms) != 3 {
+		t.Errorf("got %d sentences, want 3", len(ms))
+	}
+}
+
+func TestWordPattern(t *testing.T) {
+	sp := spanjoin.MustCompile(spanjoin.WordPattern("w"))
+	ms, err := sp.Eval("one two.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := map[string]bool{}
+	for _, m := range ms {
+		words[m.MustSubstr("w")] = true
+	}
+	if !words["one"] || !words["two"] {
+		t.Errorf("words = %v", words)
+	}
+	// Sub-words like "on" must not be delimited tokens... "one" is preceded
+	// by start and followed by ' '; "on" is followed by 'e', not a boundary.
+	if words["on"] || words["ne"] {
+		t.Errorf("non-maximal word leaked: %v", words)
+	}
+	_ = strings.Contains
+}

@@ -1,0 +1,247 @@
+package spanjoin
+
+import (
+	"fmt"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/span"
+)
+
+// Strategy selects how a query is evaluated.
+type Strategy = core.Strategy
+
+const (
+	// StrategyAuto follows the paper's tractability conditions: the
+	// canonical relational plan when every atom is polynomially bounded and
+	// the query is acyclic, compilation to automata otherwise.
+	StrategyAuto = core.Auto
+	// StrategyCanonical materializes every atom's span relation and
+	// evaluates relationally (Yannakakis on acyclic queries).
+	StrategyCanonical = core.Canonical
+	// StrategyAutomata compiles the query into one vset-automaton and
+	// enumerates it with polynomial delay.
+	StrategyAutomata = core.Automata
+)
+
+// Option configures query evaluation.
+type Option func(*core.Options)
+
+// WithStrategy forces an evaluation strategy.
+func WithStrategy(s Strategy) Option {
+	return func(o *core.Options) { o.Strategy = s }
+}
+
+// WithPolyBoundVarLimit sets the variable-count threshold under which an
+// atom is assumed polynomially bounded without running the key-attribute
+// test (default 1).
+func WithPolyBoundVarLimit(k int) Option {
+	return func(o *core.Options) { o.PolyBoundVarLimit = k }
+}
+
+// Query is a conjunctive query over regex atoms, optionally with
+// string-equality predicates and a projection — the paper's regex CQ
+// (with string equalities):
+//
+//	π_Y ( ζ=_{x1,y1} … ζ=_{xm,ym} (α1 ⋈ … ⋈ αk) )
+type Query struct {
+	cq *core.CQ
+}
+
+// QueryBuilder assembles a Query; errors accumulate and surface at Build.
+type QueryBuilder struct {
+	cq  *core.CQ
+	err error
+}
+
+// NewQuery starts a query builder.
+func NewQuery() *QueryBuilder {
+	return &QueryBuilder{cq: &core.CQ{}}
+}
+
+// Atom adds a regex atom from a pattern.
+func (b *QueryBuilder) Atom(pattern string) *QueryBuilder {
+	return b.AtomNamed(fmt.Sprintf("atom%d", len(b.cq.Atoms)+1), pattern)
+}
+
+// AtomNamed adds a named regex atom (names appear in error messages).
+func (b *QueryBuilder) AtomNamed(name, pattern string) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	a, err := core.NewAtom(name, pattern)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.cq.Atoms = append(b.cq.Atoms, a)
+	return b
+}
+
+// AtomSpanner adds a precompiled spanner as an atom.
+func (b *QueryBuilder) AtomSpanner(name string, s *Spanner) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	a, err := core.AtomFromVSA(name, s.vsa())
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.cq.Atoms = append(b.cq.Atoms, a)
+	return b
+}
+
+// Equal adds the string-equality predicate ζ=_{x,y}: x and y must span
+// equal substrings (possibly at different positions). Equality predicates
+// are compiled per input string at evaluation time (Theorem 5.4).
+func (b *QueryBuilder) Equal(x, y string) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	b.cq.Equalities = append(b.cq.Equalities, [2]string{x, y})
+	return b
+}
+
+// Project restricts the output to the given variables. Projecting onto no
+// variables yields a Boolean query.
+func (b *QueryBuilder) Project(vars ...string) *QueryBuilder {
+	if b.err != nil {
+		return b
+	}
+	b.cq.Projection = span.NewVarList(vars...)
+	return b
+}
+
+// Build validates and returns the query.
+func (b *QueryBuilder) Build() (*Query, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.cq.Validate(); err != nil {
+		return nil, err
+	}
+	return &Query{cq: b.cq}, nil
+}
+
+// MustBuild panics on error; for statically known queries.
+func (b *QueryBuilder) MustBuild() *Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Vars lists the output variables.
+func (q *Query) Vars() []string { return append([]string(nil), q.cq.OutVars()...) }
+
+// IsAcyclic reports alpha-acyclicity of the query hypergraph (atoms plus
+// equality predicates).
+func (q *Query) IsAcyclic() bool { return q.cq.IsAcyclic() }
+
+// IsGammaAcyclic reports gamma-acyclicity of the query hypergraph.
+func (q *Query) IsGammaAcyclic() bool { return q.cq.IsGammaAcyclic() }
+
+// Evaluate materializes all result tuples on doc.
+func (q *Query) Evaluate(doc string, opts ...Option) ([]Match, error) {
+	ms, err := q.Iterate(doc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, m)
+	}
+}
+
+// Iterate evaluates the query and returns a tuple iterator. Under
+// StrategyAutomata (and for k-bounded queries under StrategyAuto) the
+// iterator has polynomial delay (Theorem 3.11 / Corollary 5.5).
+func (q *Query) Iterate(doc string, opts ...Option) (*Matches, error) {
+	o := buildOptions(opts)
+	it, err := q.cq.Enumerate(doc, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Matches{it: it, vars: it.Vars(), doc: doc}, nil
+}
+
+// Exists decides Boolean satisfaction: whether the query has at least one
+// result on doc.
+func (q *Query) Exists(doc string, opts ...Option) (bool, error) {
+	ms, err := q.Iterate(doc, opts...)
+	if err != nil {
+		return false, err
+	}
+	_, ok := ms.Next()
+	return ok, nil
+}
+
+func buildOptions(opts []Option) core.Options {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// UnionQuery is a union of conjunctive queries (the paper's regex UCQ).
+// All disjuncts must share the same output variables.
+type UnionQuery struct {
+	ucq *core.UCQ
+}
+
+// NewUnion combines queries into a UCQ.
+func NewUnion(qs ...*Query) (*UnionQuery, error) {
+	u := &core.UCQ{}
+	for _, q := range qs {
+		u.Disjuncts = append(u.Disjuncts, q.cq)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return &UnionQuery{ucq: u}, nil
+}
+
+// Vars lists the output variables.
+func (u *UnionQuery) Vars() []string { return append([]string(nil), u.ucq.OutVars()...) }
+
+// Evaluate materializes all result tuples on doc, duplicate free across
+// disjuncts.
+func (u *UnionQuery) Evaluate(doc string, opts ...Option) ([]Match, error) {
+	ms, err := u.Iterate(doc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, m)
+	}
+}
+
+// Iterate evaluates the UCQ. Under the automata strategy the entire union
+// compiles into one vset-automaton whose enumeration is duplicate free by
+// construction (Lemma 3.9 + Theorem 3.3).
+func (u *UnionQuery) Iterate(doc string, opts ...Option) (*Matches, error) {
+	o := buildOptions(opts)
+	it, err := u.ucq.Enumerate(doc, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Matches{it: it, vars: it.Vars(), doc: doc}, nil
+}
+
+// PlannedStrategy reports which strategy Evaluate would use for the given
+// options (resolving StrategyAuto against the paper's tractability
+// conditions: acyclic shape plus polynomially bounded atoms → canonical).
+func (q *Query) PlannedStrategy(opts ...Option) Strategy {
+	return q.cq.Plan(buildOptions(opts))
+}

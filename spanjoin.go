@@ -1,0 +1,250 @@
+// Package spanjoin is a document-spanner engine: it extracts relations of
+// spans from text with regular expressions extended by capture variables
+// ("regex formulas"), and evaluates relational-algebra queries — joins,
+// unions, projections and string-equality selections — over those
+// extractions.
+//
+// It is a faithful, production-oriented implementation of
+// "Joining Extractions of Regular Expressions" (Freydenberger, Kimelfeld,
+// Peterfreund; PODS 2018), including:
+//
+//   - compilation of regex formulas into functional vset-automata
+//     (Lemma 3.4),
+//   - enumeration of all matches with polynomial delay and inherent
+//     deduplication (Theorem 3.3),
+//   - the spanner algebra on automata: Join, Union, Project
+//     (Lemmas 3.8–3.10),
+//   - conjunctive queries and unions thereof over regex atoms, evaluated
+//     either by compiling to a single automaton (Theorem 3.11) or by the
+//     canonical relational plan with Yannakakis' algorithm (Theorem 3.5),
+//   - string-equality selections compiled per input string (Theorem 5.4).
+//
+// # Quick start
+//
+//	sp := spanjoin.MustCompile(`.* mail{user{[a-z]+}@domain{[a-z]+\.[a-z]+}} .*`)
+//	matches, _ := sp.Eval(" write to alice@example.org today ")
+//	for _, m := range matches {
+//	    fmt.Println(m.MustSubstr("mail"))
+//	}
+//
+// Patterns must match the whole document (the paper's semantics); wrap with
+// `.*` to search. A pattern must be functional: every variable is bound
+// exactly once on every path (e.g. `x{a}|y{b}` is rejected).
+package spanjoin
+
+import (
+	"fmt"
+	"strings"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/enum"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// Span is a half-open interval [Start, End⟩ of 1-based positions in a
+// document, following the paper's notation: Substr covers positions
+// Start … End-1.
+type Span = span.Span
+
+// Match is one result tuple: an assignment of a span to every output
+// variable, bound to the document it was extracted from.
+type Match struct {
+	vars  span.VarList
+	tuple span.Tuple
+	doc   string
+}
+
+// Vars lists the variables of the match in sorted order.
+func (m Match) Vars() []string { return append([]string(nil), m.vars...) }
+
+// Span returns the span assigned to the variable.
+func (m Match) Span(name string) (Span, bool) {
+	i := m.vars.Index(name)
+	if i < 0 {
+		return Span{}, false
+	}
+	return m.tuple[i], true
+}
+
+// Substr returns the substring the variable's span covers.
+func (m Match) Substr(name string) (string, bool) {
+	p, ok := m.Span(name)
+	if !ok {
+		return "", false
+	}
+	return p.Substr(m.doc), true
+}
+
+// MustSubstr is Substr for variables known to exist; it panics otherwise.
+func (m Match) MustSubstr(name string) string {
+	s, ok := m.Substr(name)
+	if !ok {
+		panic("spanjoin: no variable " + name)
+	}
+	return s
+}
+
+// String renders the match as "x=[i,j⟩(substr) …".
+func (m Match) String() string {
+	out := ""
+	for i, v := range m.vars {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v(%q)", v, m.tuple[i], m.tuple[i].Substr(m.doc))
+	}
+	return out
+}
+
+// Spanner is a compiled document spanner (a functional vset-automaton).
+// Spanners are immutable and safe for concurrent use.
+type Spanner struct {
+	auto *vsa.VSA
+	// required is a literal every matching document must contain ("" if
+	// none was derived); Iterate uses it to skip non-matching documents
+	// without touching the automaton.
+	required string
+}
+
+// Compile parses and compiles a regex-formula pattern.
+func Compile(pattern string) (*Spanner, error) {
+	f, err := rgx.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	a, err := rgx.Compile(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{auto: a, required: rgx.RequiredLiteral(f.Root)}, nil
+}
+
+// MustCompile is Compile for statically known patterns; panics on error.
+func MustCompile(pattern string) *Spanner {
+	s, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Vars lists the spanner's capture variables in sorted order.
+func (s *Spanner) Vars() []string { return append([]string(nil), s.auto.Vars...) }
+
+// Stats reports automaton size (states, transitions) — useful for
+// understanding the cost of composed spanners.
+func (s *Spanner) Stats() (states, transitions int) {
+	return s.auto.NumStates(), s.auto.NumTransitions()
+}
+
+// Eval materializes all matches of the spanner on doc, in the engine's
+// deterministic (radix) order.
+func (s *Spanner) Eval(doc string) ([]Match, error) {
+	it, err := s.Iterate(doc)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for {
+		m, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, m)
+	}
+}
+
+// Iterate enumerates matches with polynomial delay (Theorem 3.3): the time
+// to the first match and between consecutive matches is O(n²·|doc|) for an
+// n-state spanner, independent of the result count.
+func (s *Spanner) Iterate(doc string) (*Matches, error) {
+	if s.required != "" && !strings.Contains(doc, s.required) {
+		// The required-literal prefilter: no match is possible, so skip the
+		// O(n²·|doc|) preprocessing entirely.
+		if s.auto.IsFunctional() {
+			return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
+		}
+	}
+	e, err := enum.Prepare(s.auto, doc)
+	if err != nil {
+		return nil, err
+	}
+	return &Matches{it: e, vars: e.Vars(), doc: doc}, nil
+}
+
+// RequiredLiteral exposes the prefilter factor derived at compile time: a
+// byte string every matching document must contain, or "".
+func (s *Spanner) RequiredLiteral() string { return s.required }
+
+type emptyIter struct{}
+
+func (emptyIter) Next() (span.Tuple, bool) { return nil, false }
+func (emptyIter) Vars() span.VarList       { return nil }
+
+// Matches iterates over the result of a spanner or query evaluation.
+type Matches struct {
+	it   core.Iterator
+	vars span.VarList
+	doc  string
+}
+
+// Next returns the next match; ok is false when exhausted.
+func (ms *Matches) Next() (Match, bool) {
+	t, ok := ms.it.Next()
+	if !ok {
+		return Match{}, false
+	}
+	return Match{vars: ms.vars, tuple: t, doc: ms.doc}, true
+}
+
+// Vars lists the output variables.
+func (ms *Matches) Vars() []string { return append([]string(nil), ms.vars...) }
+
+// Join composes two spanners with the natural join ⋈ (Lemma 3.10): results
+// agree on shared variables' spans. The construction is O(v·n⁴); joining
+// many spanners multiplies automaton sizes, so prefer Query for larger
+// conjunctions.
+func Join(a, b *Spanner) (*Spanner, error) {
+	j, err := vsa.Join(a.auto, b.auto)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{auto: j}, nil
+}
+
+// Union composes spanners with identical variable sets into their union
+// (Lemma 3.9); linear time.
+func Union(ss ...*Spanner) (*Spanner, error) {
+	autos := make([]*vsa.VSA, len(ss))
+	for i, s := range ss {
+		autos[i] = s.auto
+	}
+	u, err := vsa.Union(autos...)
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{auto: u}, nil
+}
+
+// Project restricts the spanner to the given variables (Lemma 3.8);
+// linear time.
+func Project(s *Spanner, vars ...string) (*Spanner, error) {
+	p, err := vsa.Project(s.auto, span.NewVarList(vars...))
+	if err != nil {
+		return nil, err
+	}
+	return &Spanner{auto: p}, nil
+}
+
+// KeyAttribute decides whether x is a key attribute of the spanner
+// (Prop 3.6): whether x's span functionally determines the whole match.
+// Key attributes guarantee at most O(|doc|²) matches (a "polynomially
+// bounded" spanner, §3.3.2).
+func (s *Spanner) KeyAttribute(x string) (bool, error) {
+	return vsa.KeyAttribute(s.auto, x)
+}
+
+// auto exposes the underlying automaton to the query layer.
+func (s *Spanner) vsa() *vsa.VSA { return s.auto }
