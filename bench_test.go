@@ -339,6 +339,90 @@ func BenchmarkE10_FunctionalizeBlowup(b *testing.B) {
 	}
 }
 
+// BenchmarkClosures measures the ε/variable closure computation — the
+// word-parallel transitive closure on the bitset matrices — as the
+// automaton grows.
+func BenchmarkClosures(b *testing.B) {
+	for _, m := range []int{8, 32, 128} {
+		a := rgx.MustCompilePattern(strings.Repeat("(a|b)", m) + ".*x{a+}.*y{b+}.*")
+		t, _, err := a.RequireFunctional()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("states=%d", t.NumStates()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t.NewClosures()
+			}
+		})
+	}
+}
+
+// BenchmarkStreamReuse: many documents through one compiled pattern. The
+// reuse path (one Stream, Reset per document) amortizes trimming, closures
+// and the graph arenas across documents; the fresh path pays a full
+// Prepare per document. allocs/op is the headline number: steady-state
+// reuse should allocate only the returned matches.
+func BenchmarkStreamReuse(b *testing.B) {
+	sp := spanjoin.MustCompile(`.*x{[a-z]+}@y{[a-z]+}.*`)
+	r := workload.Rand(21)
+	docs := make([]string, 64)
+	for i := range docs {
+		docs[i] = workload.Document(r, workload.DocumentOptions{Sentences: 2, EmailRate: 0.5})
+	}
+	b.Run("reuse-stream", func(b *testing.B) {
+		st := sp.NewStream()
+		// Warm the arenas so steady-state allocation is measured.
+		if _, err := st.Eval(docs[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				if _, err := st.Eval(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	// One repeated document with no matches (and no derivable literal, so
+	// the graph is rebuilt every time): isolates the build overhead, which
+	// should be allocation-free in steady state.
+	b.Run("repeat-doc-near-zero", func(b *testing.B) {
+		noMatch := spanjoin.MustCompile(`.*x{[a-z]+}(0|1)y{[a-z]+}.*`)
+		doc := docs[0]
+		st := noMatch.NewStream()
+		if _, err := st.Eval(doc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Eval(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh-prepare", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, doc := range docs {
+				if _, err := sp.Eval(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel-4", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.EvalAllParallel(docs, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkPublicAPI_EmailExtraction exercises the documented quick-start
 // path end to end.
 func BenchmarkPublicAPI_EmailExtraction(b *testing.B) {

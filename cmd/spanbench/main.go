@@ -5,16 +5,21 @@
 //
 // Usage:
 //
-//	spanbench [-experiment all|E1|E2|...|E10|F1|G1] [-quick]
+//	spanbench [-experiment all|E1|E2|...|E10|F1|G1] [-quick] [-json out.json]
 //
 // All workloads are seeded; output is deterministic modulo wall-clock
-// timings.
+// timings. With -json, every printed table is also recorded to the given
+// file as structured rows (experiment id, headers, cells), so successive
+// runs can be archived as BENCH_*.json perf trajectories and diffed by
+// later PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -35,8 +40,10 @@ func register(id, title string, run func(quick bool)) {
 func main() {
 	which := flag.String("experiment", "all", "experiment id (E1..E10, F1, G1) or 'all'")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
+	jsonOut := flag.String("json", "", "also record every table to this file as JSON")
 	flag.Parse()
 
+	recorder.enabled = *jsonOut != ""
 	sort.Slice(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
 	ran := false
 	for _, e := range experiments {
@@ -44,6 +51,7 @@ func main() {
 			continue
 		}
 		ran = true
+		recorder.current = e.id
 		fmt.Printf("## %s — %s\n\n", e.id, e.title)
 		e.run(*quick)
 		fmt.Println()
@@ -52,6 +60,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spanbench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := recorder.write(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "spanbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonTable is one recorded table of a run.
+type jsonTable struct {
+	Experiment string     `json:"experiment"`
+	Headers    []string   `json:"headers"`
+	Rows       [][]string `json:"rows"`
+}
+
+// jsonReport is the -json output: enough metadata to compare trajectories
+// across PRs plus every table of the run.
+type jsonReport struct {
+	Timestamp string      `json:"timestamp"`
+	GoVersion string      `json:"go_version"`
+	GOARCH    string      `json:"goarch"`
+	Tables    []jsonTable `json:"tables"`
+}
+
+type tableRecorder struct {
+	enabled bool
+	current string
+	tables  []jsonTable
+}
+
+var recorder tableRecorder
+
+func (r *tableRecorder) record(t *table) {
+	if !r.enabled {
+		return
+	}
+	r.tables = append(r.tables, jsonTable{
+		Experiment: r.current,
+		Headers:    append([]string(nil), t.headers...),
+		Rows:       append([][]string(nil), t.rows...),
+	})
+}
+
+func (r *tableRecorder) write(path string) error {
+	rep := jsonReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Tables:    r.tables,
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // table is a tiny markdown table printer.
@@ -80,6 +143,7 @@ func (t *table) add(cells ...any) {
 }
 
 func (t *table) print() {
+	recorder.record(t)
 	widths := make([]int, len(t.headers))
 	for i, h := range t.headers {
 		widths[i] = len(h)

@@ -1,0 +1,3 @@
+module spanjoin
+
+go 1.24

@@ -7,14 +7,26 @@
 // run's state immediately before reading σ_{i+1}. It builds a layered graph
 // G whose nodes (i,q) mean "A can be in state q after processing σ₁…σ_i and
 // any following variable operations", interprets G as an NFA A_G over the
-// configuration alphabet K, and enumerates L(A_G) ∩ K^{N+1} in radix order
+// configuration alphabet K, and enumerates L(A_G) ∩ K^(N+1) in radix order
 // without repetition, in the style of Ackerman–Shallit. Distinct tuples
 // correspond to distinct strings over K, so deduplication is inherent.
+//
+// State sets are packed bitset rows (internal/bitset): the forward and
+// backward level passes, the rawEdges construction and the per-level set
+// merges of the radix enumeration are word operations, and every
+// document-independent artifact (trimmed automaton, closures, letter table)
+// is computed once and reused. An Enumerator is resettable: Reset(s)
+// rebuilds the layered graph for a new document into the enumerator's own
+// arenas, so streaming many documents through one compiled pattern
+// allocates almost nothing per document; transient build scratch is shared
+// through a sync.Pool even across fresh Prepare calls.
 package enum
 
 import (
 	"sort"
+	"sync"
 
+	"spanjoin/internal/bitset"
 	"spanjoin/internal/nfa"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
@@ -38,6 +50,12 @@ type GraphNode struct {
 // Enumerator enumerates [[A]](s) with polynomial delay. Create it with
 // Prepare, then call Next until ok is false. Results are emitted in radix
 // order of their configuration strings — a deterministic total order.
+//
+// An Enumerator owns its graph arenas: Reset(s) rebuilds the layered graph
+// for a new document in place, invalidating any in-progress enumeration but
+// reusing all buffers. Enumerators are not safe for concurrent use; use
+// Clone to give each goroutine its own cursor over the shared compiled
+// state.
 type Enumerator struct {
 	vars    span.VarList
 	n       int // |s|
@@ -48,11 +66,111 @@ type Enumerator struct {
 	startLetters  []int32
 	startByLetter [][]int32
 
+	// Document-independent compiled state, cached for Reset and Clone.
+	auto      *vsa.VSA // trimmed functional automaton
+	ct        *vsa.ConfigTable
+	cl        *vsa.Closures
+	letterOf  []int32
+	charAdj   [][]vsa.Tr // character transitions per state
+	emptyLang bool       // the automaton's language is empty for every s
+
+	// Persistent graph arenas, resliced and refilled by every build.
+	letterArena   []int32
+	tgtArena      []int32
+	byLetterArena [][]int32
+
 	// enumeration state
-	started bool
-	done    bool
-	letters []int32   // current word κ_0..κ_N
-	sets    [][]int32 // sets[i] = node indices at level i consistent with κ_0..κ_i
+	started  bool
+	done     bool
+	letters  []int32    // current word κ_0..κ_N
+	sets     [][]int32  // sets[i] = node indices at level i consistent with κ_0..κ_i
+	setsBuf  [][]int32  // per-level merge buffers backing multi-source sets
+	mergeRow bitset.Row // scratch for multi-source set merges
+}
+
+// prepScratch holds the transient buffers of one graph build: forward and
+// backward level rows, the flattened rawEdges arrays, and the letter
+// grouping counters. Instances are pooled so even fresh Prepare calls reuse
+// the allocations of earlier ones.
+type prepScratch struct {
+	fwd   bitset.Matrix // (N+1)×n: boundary-state sets per level
+	alive bitset.Matrix // (N+1)×n: backward-reachability prune
+	succ  bitset.Row    // n bits: successor accumulator per state
+
+	stateIdx []int32 // state → node index at the level being linked
+
+	lsArena []int32    // concatenated per-level state lists
+	lsSpan  [][2]int32 // lsSpan[i] = [start, end) into lsArena
+
+	// Flattened rawEdges: edgeOwner[k] is the boundary state, edgeSpan[k]
+	// its successor range in edgeTgt, lvlEdge[i] the edge range of level i.
+	edgeOwner []int32
+	edgeSpan  [][2]int32
+	edgeTgt   []int32
+	lvlEdge   [][2]int32
+
+	// Letter grouping scratch, sized by the letter count.
+	cnt      []int32
+	pos      []int32
+	distinct []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(prepScratch) }}
+
+func (sc *prepScratch) init(n, N, letters int) {
+	sc.fwd.Resize(N+1, n)
+	sc.alive.Resize(N+1, n)
+	if cap(sc.succ) < bitset.WordsFor(n) {
+		sc.succ = bitset.NewRow(n)
+	} else {
+		sc.succ = sc.succ[:bitset.WordsFor(n)]
+		sc.succ.Zero()
+	}
+	sc.stateIdx = grow(sc.stateIdx, n)
+	sc.lsArena = sc.lsArena[:0]
+	sc.lsSpan = grow(sc.lsSpan, N+1)
+	sc.edgeOwner = sc.edgeOwner[:0]
+	sc.edgeSpan = sc.edgeSpan[:0]
+	sc.edgeTgt = sc.edgeTgt[:0]
+	sc.lvlEdge = grow(sc.lvlEdge, N)
+	if cap(sc.cnt) < letters {
+		sc.cnt = make([]int32, letters) // zeroed; kept zero between uses
+	} else {
+		sc.cnt = sc.cnt[:letters]
+	}
+	sc.pos = grow(sc.pos, letters)
+}
+
+// levelStates returns the materialized state list of level i.
+func (sc *prepScratch) levelStates(i int) []int32 {
+	s := sc.lsSpan[i]
+	return sc.lsArena[s[0]:s[1]]
+}
+
+func (sc *prepScratch) pushLevel(i int, row bitset.Row) {
+	start := int32(len(sc.lsArena))
+	sc.lsArena = row.AppendOnes(sc.lsArena)
+	sc.lsSpan[i] = [2]int32{start, int32(len(sc.lsArena))}
+}
+
+// grow reslices s to n elements, reallocating only when capacity is short;
+// contents are unspecified (callers overwrite before reading).
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// growKeep is grow for slices-of-buffers: surviving elements keep their
+// previously grown backing storage.
+func growKeep[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n)
+	copy(ns, s)
+	return ns
 }
 
 // Prepare trims A, verifies functionality, and builds the layered graph for
@@ -64,126 +182,269 @@ func Prepare(a *vsa.VSA, s string) (*Enumerator, error) {
 	}
 	e := &Enumerator{vars: t.Vars, n: len(s)}
 	if t.NumStates() == 2 && t.NumTransitions() == 0 && t.Init != t.Final {
+		e.emptyLang = true
 		e.empty = true
 		return e, nil
 	}
-	cl := t.NewClosures()
+	e.auto, e.ct = t, ct
+	e.cl = t.NewClosures()
+	e.letterOf = internLetters(t, ct, e)
+	e.charAdj = make([][]vsa.Tr, t.NumStates())
+	for q := range e.charAdj {
+		for _, tr := range t.Adj[q] {
+			if tr.Kind == vsa.KChar {
+				e.charAdj[q] = append(e.charAdj[q], tr)
+			}
+		}
+	}
+	e.mergeRow = bitset.NewRow(t.NumStates())
+	e.build(s)
+	return e, nil
+}
+
+// Reset rebuilds the enumerator for a new document, reusing every buffer of
+// the previous build. The enumeration restarts from the beginning; tuples
+// handed out earlier remain valid (they are freshly allocated), but Levels
+// and AsNFA views of the previous document do not.
+func (e *Enumerator) Reset(s string) {
+	e.started, e.done = false, false
+	e.n = len(s)
+	if e.emptyLang {
+		e.empty = true
+		return
+	}
+	e.empty = false
+	e.build(s)
+}
+
+// Clone returns an enumerator sharing e's document-independent compiled
+// state (trimmed automaton, closures, letter table) with its own build
+// arenas and cursor, for use from another goroutine. The clone has no
+// document prepared: call Reset before Next.
+func (e *Enumerator) Clone() *Enumerator {
+	c := &Enumerator{
+		vars:      e.vars,
+		n:         e.n,
+		empty:     true, // nothing prepared yet
+		emptyLang: e.emptyLang,
+		configs:   e.configs,
+		auto:      e.auto,
+		ct:        e.ct,
+		cl:        e.cl,
+		letterOf:  e.letterOf,
+		charAdj:   e.charAdj,
+	}
+	if e.auto != nil {
+		c.mergeRow = bitset.NewRow(e.auto.NumStates())
+	}
+	return c
+}
+
+// build constructs the layered graph for s into e's arenas. It sets e.empty
+// when [[A]](s) = ∅.
+func (e *Enumerator) build(s string) {
+	t, cl := e.auto, e.cl
 	n := t.NumStates()
 	N := len(s)
+	sc := scratchPool.Get().(*prepScratch)
+	defer scratchPool.Put(sc)
+	sc.init(n, N, len(e.configs))
 
-	// Forward pass: levelStates[i] = possible boundary states q̂_i.
-	levelStates := make([][]int32, N+1)
-	cur := make([]bool, n)
-	for _, q := range cl.VE[t.Init] {
-		cur[q] = true
-	}
-	levelStates[0] = boolsToList(cur)
-	// rawEdges[i][q] = successor states of boundary state q at level i.
-	rawEdges := make([][][]int32, N)
+	// Forward pass: fwd.Row(i) = possible boundary states q̂_i.
+	cur := sc.fwd.Row(0)
+	cur.CopyFrom(cl.VEB.Row(int(t.Init)))
+	sc.pushLevel(0, cur)
 	for i := 0; i < N; i++ {
-		next := make([]bool, n)
-		rawEdges[i] = make([][]int32, n)
-		for _, p := range levelStates[i] {
-			var succ []bool
-			for _, tr := range t.Adj[p] {
-				if tr.Kind != vsa.KChar || !tr.Class.Contains(s[i]) {
+		next := sc.fwd.Row(i + 1)
+		lvlStart := int32(len(sc.edgeOwner))
+		for _, p := range sc.levelStates(i) {
+			any := false
+			for _, tr := range e.charAdj[p] {
+				if !tr.Class.Contains(s[i]) {
 					continue
 				}
-				if succ == nil {
-					succ = make([]bool, n)
-				}
-				for _, q := range cl.VE[tr.To] {
-					succ[q] = true
-				}
+				sc.succ.Or(cl.VEB.Row(int(tr.To)))
+				any = true
 			}
-			if succ == nil {
+			if !any {
 				continue
 			}
-			lst := boolsToList(succ)
-			rawEdges[i][p] = lst
-			for _, q := range lst {
-				next[q] = true
-			}
+			start := int32(len(sc.edgeTgt))
+			sc.edgeTgt = sc.succ.AppendOnes(sc.edgeTgt)
+			sc.edgeOwner = append(sc.edgeOwner, p)
+			sc.edgeSpan = append(sc.edgeSpan, [2]int32{start, int32(len(sc.edgeTgt))})
+			next.Or(sc.succ)
+			sc.succ.Zero()
 		}
-		levelStates[i+1] = boolsToList(next)
+		sc.lvlEdge[i] = [2]int32{lvlStart, int32(len(sc.edgeOwner))}
+		sc.pushLevel(i+1, next)
 	}
 	// The last boundary state must be the final state exactly (q̂_N = qf).
-	finalOK := false
-	for _, q := range levelStates[N] {
-		if q == t.Final {
-			finalOK = true
-		}
+	if !sc.fwd.Row(N).Test(t.Final) {
+		e.markEmpty()
+		return
 	}
-	if !finalOK {
-		e.empty = true
-		return e, nil
-	}
-	levelStates[N] = []int32{t.Final}
 
 	// Backward prune: keep nodes from which (N, qf) is reachable.
-	alive := make([][]bool, N+1)
-	alive[N] = make([]bool, n)
-	alive[N][t.Final] = true
+	sc.alive.Row(N).Set(t.Final)
 	for i := N - 1; i >= 0; i-- {
-		alive[i] = make([]bool, n)
-		for _, p := range levelStates[i] {
-			for _, q := range rawEdges[i][p] {
-				if alive[i+1][q] {
-					alive[i][p] = true
+		aliveCur, aliveNext := sc.alive.Row(i), sc.alive.Row(i+1)
+		rng := sc.lvlEdge[i]
+		for k := rng[0]; k < rng[1]; k++ {
+			es := sc.edgeSpan[k]
+			for _, q := range sc.edgeTgt[es[0]:es[1]] {
+				if aliveNext.Test(q) {
+					aliveCur.Set(sc.edgeOwner[k])
 					break
 				}
 			}
 		}
 	}
 
-	// Intern configurations as letters in radix order.
-	letterOf := internLetters(t, ct, e)
-
-	// Build levels with per-node grouped targets.
-	e.levels = make([][]GraphNode, N+1)
-	idxAt := make([][]int32, N+1) // state → node index at level, -1 otherwise
+	// Build levels: alive states in ascending order; level N is {qf}.
+	e.levels = growKeep(e.levels, N+1)
 	for i := 0; i <= N; i++ {
-		idxAt[i] = make([]int32, n)
-		for k := range idxAt[i] {
-			idxAt[i][k] = -1
-		}
-		for _, q := range levelStates[i] {
-			if !alive[i][q] {
-				continue
+		lvl := e.levels[i][:0]
+		aliveRow := sc.alive.Row(i)
+		for _, q := range sc.levelStates(i) {
+			if aliveRow.Test(q) {
+				lvl = append(lvl, GraphNode{State: q, Letter: e.letterOf[q]})
 			}
-			idxAt[i][q] = int32(len(e.levels[i]))
-			e.levels[i] = append(e.levels[i], GraphNode{State: q, Letter: letterOf[q]})
 		}
+		e.levels[i] = lvl
 	}
 	if len(e.levels[0]) == 0 {
-		e.empty = true
-		return e, nil
+		e.markEmpty()
+		return
 	}
+
+	// Link targets level by level, grouping successors by letter into the
+	// persistent arenas. Edge owners and nodes are both ascending by state,
+	// so a lockstep walk pairs them without an index.
+	e.letterArena = e.letterArena[:0]
+	e.tgtArena = e.tgtArena[:0]
+	e.byLetterArena = e.byLetterArena[:0]
 	for i := 0; i < N; i++ {
+		for _, q := range sc.levelStates(i + 1) {
+			sc.stateIdx[q] = -1
+		}
+		for j := range e.levels[i+1] {
+			sc.stateIdx[e.levels[i+1][j].State] = int32(j)
+		}
+		rng := sc.lvlEdge[i]
+		ek := rng[0]
 		for k := range e.levels[i] {
 			node := &e.levels[i][k]
-			var pairs []letterTarget
-			for _, q := range rawEdges[i][node.State] {
-				if j := idxAt[i+1][q]; j >= 0 {
-					pairs = append(pairs, letterTarget{letterOf[q], j})
-				}
+			for ek < rng[1] && sc.edgeOwner[ek] < node.State {
+				ek++
 			}
-			node.TargetLetters, node.TargetsByLetter = groupByLetter(pairs)
+			if ek >= rng[1] || sc.edgeOwner[ek] != node.State {
+				node.TargetLetters, node.TargetsByLetter = nil, nil
+				continue
+			}
+			es := sc.edgeSpan[ek]
+			node.TargetLetters, node.TargetsByLetter =
+				e.appendLetterGroups(sc.edgeTgt[es[0]:es[1]], sc)
+			ek++
 		}
 	}
+
 	// Start transitions: the virtual initial state of A_G fans out to every
 	// level-0 node, labelled with the node's letter.
-	var startPairs []letterTarget
-	for k := range e.levels[0] {
-		startPairs = append(startPairs, letterTarget{e.levels[0][k].Letter, int32(k)})
+	for _, q := range sc.levelStates(0) {
+		sc.stateIdx[q] = -1
 	}
-	e.startLetters, e.startByLetter = groupByLetter(startPairs)
+	for k := range e.levels[0] {
+		sc.stateIdx[e.levels[0][k].State] = int32(k)
+	}
+	e.startLetters, e.startByLetter = e.appendLetterGroups(sc.levelStates(0), sc)
 
-	e.letters = make([]int32, N+1)
-	e.sets = make([][]int32, N+1)
-	return e, nil
+	e.letters = grow(e.letters, N+1)
+	e.sets = grow(e.sets, N+1)
+	e.setsBuf = growKeep(e.setsBuf, N+1)
 }
 
+func (e *Enumerator) markEmpty() {
+	e.empty = true
+	if e.levels != nil {
+		e.levels = e.levels[:0]
+	}
+	e.startLetters, e.startByLetter = nil, nil
+}
+
+// appendLetterGroups groups the live targets among the candidate states by
+// letter: the returned letters are ascending, and each letter's target list
+// holds node indices (stateIdx of the states) in ascending order. Storage
+// comes from the enumerator's arenas; states whose stateIdx is -1 are
+// skipped. cnt is left zeroed for the next call.
+func (e *Enumerator) appendLetterGroups(states []int32, sc *prepScratch) ([]int32, [][]int32) {
+	distinct := sc.distinct[:0]
+	total := 0
+	for _, q := range states {
+		if sc.stateIdx[q] < 0 {
+			continue
+		}
+		l := e.letterOf[q]
+		if sc.cnt[l] == 0 {
+			distinct = append(distinct, l)
+		}
+		sc.cnt[l]++
+		total++
+	}
+	sc.distinct = distinct
+	if total == 0 {
+		return nil, nil
+	}
+	// Insertion sort: the distinct letter count per node is tiny.
+	for i := 1; i < len(distinct); i++ {
+		for j := i; j > 0 && distinct[j] < distinct[j-1]; j-- {
+			distinct[j], distinct[j-1] = distinct[j-1], distinct[j]
+		}
+	}
+	lstart := len(e.letterArena)
+	e.letterArena = append(e.letterArena, distinct...)
+	letters := e.letterArena[lstart:len(e.letterArena):len(e.letterArena)]
+
+	tstart := len(e.tgtArena)
+	e.tgtArena = growTail(e.tgtArena, total)
+	bstart := len(e.byLetterArena)
+	run := int32(tstart)
+	for _, l := range distinct {
+		c := sc.cnt[l]
+		e.byLetterArena = append(e.byLetterArena, e.tgtArena[run:run+c:run+c])
+		sc.pos[l] = run
+		run += c
+	}
+	byLetter := e.byLetterArena[bstart:len(e.byLetterArena):len(e.byLetterArena)]
+	for _, q := range states {
+		j := sc.stateIdx[q]
+		if j < 0 {
+			continue
+		}
+		l := e.letterOf[q]
+		e.tgtArena[sc.pos[l]] = j
+		sc.pos[l]++
+	}
+	for _, l := range distinct {
+		sc.cnt[l] = 0
+	}
+	return letters, byLetter
+}
+
+// growTail extends s by n elements in place, reallocating geometrically;
+// the new elements are overwritten by the caller.
+func growTail(s []int32, n int) []int32 {
+	need := len(s) + n
+	if cap(s) < need {
+		ns := make([]int32, len(s), max(2*cap(s), need))
+		copy(ns, s)
+		s = ns
+	}
+	return s[:need]
+}
+
+// letterTarget and groupByLetter remain the reference grouping used by the
+// parallel prefix splitter, where setup cost is irrelevant.
 type letterTarget struct {
 	letter int32
 	target int32
@@ -251,16 +512,6 @@ func internLetters(t *vsa.VSA, ct *vsa.ConfigTable, e *Enumerator) []int32 {
 	return letterOf
 }
 
-func boolsToList(b []bool) []int32 {
-	var out []int32
-	for i, ok := range b {
-		if ok {
-			out = append(out, int32(i))
-		}
-	}
-	return out
-}
-
 // Vars returns the variable list of the underlying spanner; tuples returned
 // by Next are aligned with it.
 func (e *Enumerator) Vars() span.VarList { return e.vars }
@@ -289,83 +540,106 @@ func (e *Enumerator) Next() (t span.Tuple, ok bool) {
 	return e.decode(), true
 }
 
-// transitionsFrom returns the grouped letters/targets available from set
-// S_{l-1} (or the virtual start when l == 0) into level l.
-func (e *Enumerator) lettersInto(l int) func(yield func(letters []int32, byLetter [][]int32)) {
-	return func(yield func([]int32, [][]int32)) {
-		if l == 0 {
-			yield(e.startLetters, e.startByLetter)
-			return
-		}
-		for _, u := range e.sets[l-1] {
-			node := &e.levels[l-1][u]
-			yield(node.TargetLetters, node.TargetsByLetter)
+// searchLetters returns the first index with letters[k] >= letter.
+func searchLetters(letters []int32, letter int32) int {
+	lo, hi := 0, len(letters)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if letters[mid] < letter {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	return lo
 }
 
-// minLetterInto returns the minimal letter ≥ 0 available into level l given
-// S_{l-1}; ok is false if none.
+// minLetterInto returns the minimal letter available into level l given
+// S_{l-1} (or the virtual start when l == 0); ok is false if none.
 func (e *Enumerator) minLetterInto(l int) (int32, bool) {
-	best := int32(-1)
-	e.lettersInto(l)(func(letters []int32, _ [][]int32) {
-		if len(letters) > 0 && (best < 0 || letters[0] < best) {
-			best = letters[0]
+	if l == 0 {
+		if len(e.startLetters) == 0 {
+			return -1, false
 		}
-	})
+		return e.startLetters[0], true
+	}
+	best := int32(-1)
+	for _, u := range e.sets[l-1] {
+		ls := e.levels[l-1][u].TargetLetters
+		if len(ls) > 0 && (best < 0 || ls[0] < best) {
+			best = ls[0]
+		}
+	}
 	return best, best >= 0
 }
 
 // nextLetterInto returns the minimal available letter strictly greater than
 // after; ok is false if none.
 func (e *Enumerator) nextLetterInto(l int, after int32) (int32, bool) {
-	best := int32(-1)
-	e.lettersInto(l)(func(letters []int32, _ [][]int32) {
-		// binary search for the first letter > after
-		k := sort.Search(len(letters), func(i int) bool { return letters[i] > after })
-		if k < len(letters) && (best < 0 || letters[k] < best) {
-			best = letters[k]
+	if l == 0 {
+		k := searchLetters(e.startLetters, after+1)
+		if k == len(e.startLetters) {
+			return -1, false
 		}
-	})
+		return e.startLetters[k], true
+	}
+	best := int32(-1)
+	for _, u := range e.sets[l-1] {
+		ls := e.levels[l-1][u].TargetLetters
+		k := searchLetters(ls, after+1)
+		if k < len(ls) && (best < 0 || ls[k] < best) {
+			best = ls[k]
+		}
+	}
 	return best, best >= 0
 }
 
-// setLevel fixes κ_l := letter and recomputes S_l from S_{l-1}.
+// setLevel fixes κ_l := letter and recomputes S_l from S_{l-1}. A single
+// contributing target list is aliased directly; multi-source unions go
+// through the merge bitset row and the level's reusable buffer, so steady-
+// state enumeration does not allocate.
 func (e *Enumerator) setLevel(l int, letter int32) {
 	e.letters[l] = letter
-	var merged []int32
-	e.lettersInto(l)(func(letters []int32, byLetter [][]int32) {
-		k := sort.Search(len(letters), func(i int) bool { return letters[i] >= letter })
-		if k < len(letters) && letters[k] == letter {
-			merged = mergeSorted(merged, byLetter[k])
+	if l == 0 {
+		k := searchLetters(e.startLetters, letter)
+		if k < len(e.startLetters) && e.startLetters[k] == letter {
+			e.sets[0] = e.startByLetter[k]
+		} else {
+			e.sets[0] = nil
 		}
-	})
-	e.sets[l] = merged
-}
-
-func mergeSorted(a, b []int32) []int32 {
-	if len(a) == 0 {
-		return append([]int32(nil), b...)
+		return
 	}
-	out := make([]int32, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
+	var single []int32
+	merged := false
+	for _, u := range e.sets[l-1] {
+		node := &e.levels[l-1][u]
+		k := searchLetters(node.TargetLetters, letter)
+		if k >= len(node.TargetLetters) || node.TargetLetters[k] != letter {
+			continue
+		}
+		lst := node.TargetsByLetter[k]
+		if single == nil && !merged {
+			single = lst
+			continue
+		}
+		if !merged {
+			merged = true
+			e.mergeRow.Zero()
+			for _, v := range single {
+				e.mergeRow.Set(v)
+			}
+		}
+		for _, v := range lst {
+			e.mergeRow.Set(v)
 		}
 	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	if !merged {
+		e.sets[l] = single
+		return
+	}
+	buf := e.mergeRow.AppendOnes(e.setsBuf[l][:0])
+	e.setsBuf[l] = buf
+	e.sets[l] = buf
 }
 
 // minString completes the word with the radix-minimal suffix from level l on.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"spanjoin/internal/bitset"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
 )
@@ -35,6 +36,7 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 
 	prefixes := e.splitPrefixes(16 * workers)
 	results := make([][]span.Tuple, len(prefixes))
+	rowPool := bitset.NewPool(e.auto.NumStates())
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -42,7 +44,7 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx] = e.enumeratePrefix(prefixes[idx])
+				results[idx] = e.enumeratePrefix(prefixes[idx], rowPool)
 			}
 		}()
 	}
@@ -57,6 +59,61 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 		out = append(out, r...)
 	}
 	return e.vars, out, nil
+}
+
+// EvalAllDocs evaluates [[A]] on every document with a pool of workers,
+// the multi-document complement of EvalParallel: each worker owns one
+// reusable enumerator (a Clone of a shared compiled base) and cycles its
+// documents through it with Reset, so the per-document cost is one graph
+// build into preallocated arenas — trimming, functionality checking,
+// closure computation and letter interning happen once per worker, and
+// steady-state allocation per document is near zero beyond the result
+// tuples. Results are indexed like docs. workers ≤ 0 selects GOMAXPROCS.
+func EvalAllDocs(a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span.Tuple, error) {
+	base, err := Prepare(a, "")
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([][]span.Tuple, len(docs))
+	if len(docs) == 0 {
+		return base.vars, results, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	if workers == 1 {
+		e := base
+		for i, doc := range docs {
+			e.Reset(doc)
+			results[i] = e.All()
+		}
+		return base.vars, results, nil
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		e := base // worker 0 reuses the base enumerator and its arenas
+		if w > 0 {
+			e = base.Clone()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e.Reset(docs[i])
+				results[i] = e.All()
+			}
+		}()
+	}
+	for i := range docs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return base.vars, results, nil
 }
 
 // prefix is a fixed choice of the first depth letters with the resulting
@@ -170,7 +227,9 @@ func groupSuccessors(e *Enumerator, set []int32, level int) ([]int32, [][]int32)
 
 // enumeratePrefix enumerates all completions of the prefix in radix order
 // on a private cursor sharing the immutable graph.
-func (e *Enumerator) enumeratePrefix(p prefix) []span.Tuple {
+func (e *Enumerator) enumeratePrefix(p prefix, rowPool *bitset.Pool) []span.Tuple {
+	mergeRow := rowPool.Get()
+	defer rowPool.Put(mergeRow)
 	c := &Enumerator{
 		vars:          e.vars,
 		n:             e.n,
@@ -180,6 +239,8 @@ func (e *Enumerator) enumeratePrefix(p prefix) []span.Tuple {
 		startByLetter: e.startByLetter,
 		letters:       make([]int32, e.n+1),
 		sets:          make([][]int32, e.n+1),
+		setsBuf:       make([][]int32, e.n+1),
+		mergeRow:      mergeRow,
 	}
 	depth := len(p.letters)
 	copy(c.letters, p.letters)

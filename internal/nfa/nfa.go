@@ -12,6 +12,8 @@ package nfa
 import (
 	"fmt"
 	"sort"
+
+	"spanjoin/internal/bitset"
 )
 
 // Edge is a transition labelled with an abstract symbol id. Symbol ids
@@ -68,14 +70,15 @@ func (m *NFA) sortEdges() {
 type CrossSection struct {
 	m      *NFA
 	length int
-	// alive[i][q]: state q can reach a final state in exactly length-i
+	// alive row i: state q can reach a final state in exactly length-i
 	// steps. Words are built left to right through alive states only.
-	alive [][]bool
+	alive *bitset.Matrix
 
 	started bool
 	done    bool
 	word    []int32
-	sets    [][]int32 // sets[i]: alive states after reading word[:i+1]
+	sets    [][]int32  // sets[i]: alive states after reading word[:i+1]
+	seen    bitset.Row // dedup scratch for setSym
 }
 
 // EnumerateLength prepares a cross-section enumeration.
@@ -85,18 +88,18 @@ func (m *NFA) EnumerateLength(length int) (*CrossSection, error) {
 	}
 	m.sortEdges()
 	cs := &CrossSection{m: m, length: length}
-	// Backward reachability DP.
-	cs.alive = make([][]bool, length+1)
-	cs.alive[length] = make([]bool, m.NumStates)
+	// Backward reachability DP on bitset rows.
+	cs.alive = bitset.NewMatrix(length+1, m.NumStates)
+	last := cs.alive.Row(length)
 	for _, f := range m.Final {
-		cs.alive[length][f] = true
+		last.Set(f)
 	}
 	for i := length - 1; i >= 0; i-- {
-		cs.alive[i] = make([]bool, m.NumStates)
+		cur, next := cs.alive.Row(i), cs.alive.Row(i+1)
 		for q := 0; q < m.NumStates; q++ {
 			for _, e := range m.Adj[q] {
-				if cs.alive[i+1][e.To] {
-					cs.alive[i][q] = true
+				if next.Test(e.To) {
+					cur.Set(int32(q))
 					break
 				}
 			}
@@ -104,6 +107,7 @@ func (m *NFA) EnumerateLength(length int) (*CrossSection, error) {
 	}
 	cs.word = make([]int32, length)
 	cs.sets = make([][]int32, length)
+	cs.seen = bitset.NewRow(m.NumStates)
 	return cs, nil
 }
 
@@ -117,8 +121,9 @@ func (cs *CrossSection) Next() (word []int32, ok bool) {
 		cs.started = true
 		if cs.length == 0 {
 			cs.done = true
+			row := cs.alive.Row(0)
 			for _, s := range cs.m.Start {
-				if cs.alive[0][s] {
+				if row.Test(s) {
 					return cs.word, true // the empty word
 				}
 			}
@@ -142,8 +147,9 @@ func (cs *CrossSection) Next() (word []int32, ok bool) {
 func (cs *CrossSection) statesBefore(i int) []int32 {
 	if i == 0 {
 		var out []int32
+		row := cs.alive.Row(0)
 		for _, s := range cs.m.Start {
-			if cs.alive[0][s] {
+			if row.Test(s) {
 				out = append(out, s)
 			}
 		}
@@ -157,9 +163,10 @@ func (cs *CrossSection) statesBefore(i int) []int32 {
 // position i that leads to an alive state; after = -1 means any.
 func (cs *CrossSection) minSym(i int, after int32) (int32, bool) {
 	best := int32(-1)
+	alive := cs.alive.Row(i + 1)
 	for _, q := range cs.statesBefore(i) {
 		for _, e := range cs.m.Adj[q] {
-			if e.Sym <= after || !cs.alive[i+1][e.To] {
+			if e.Sym <= after || !alive.Test(e.To) {
 				continue
 			}
 			if best < 0 || e.Sym < best {
@@ -174,21 +181,16 @@ func (cs *CrossSection) minSym(i int, after int32) (int32, bool) {
 // setSym fixes word[i] = sym and recomputes sets[i].
 func (cs *CrossSection) setSym(i int, sym int32) {
 	cs.word[i] = sym
-	seen := make(map[int32]bool)
-	var out []int32
+	cs.seen.Zero()
+	alive := cs.alive.Row(i + 1)
 	for _, q := range cs.statesBefore(i) {
 		for _, e := range cs.m.Adj[q] {
-			if e.Sym != sym || !cs.alive[i+1][e.To] {
-				continue
-			}
-			if !seen[e.To] {
-				seen[e.To] = true
-				out = append(out, e.To)
+			if e.Sym == sym && alive.Test(e.To) {
+				cs.seen.Set(e.To)
 			}
 		}
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-	cs.sets[i] = out
+	cs.sets[i] = cs.seen.AppendOnes(cs.sets[i][:0])
 }
 
 func (cs *CrossSection) minWord(from int) bool {

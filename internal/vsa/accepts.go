@@ -3,6 +3,7 @@ package vsa
 import (
 	"fmt"
 
+	"spanjoin/internal/bitset"
 	"spanjoin/internal/span"
 )
 
@@ -50,43 +51,45 @@ func AcceptsTuple(a *VSA, s string, vars span.VarList, t span.Tuple) (bool, erro
 		return cfg
 	}
 	cl := trimmed.NewClosures()
-	matches := func(states []int32, want Config) []int32 {
-		var out []int32
-		for _, q := range states {
-			if ct.Cfg[q].Equal(want) {
-				out = append(out, q)
-			}
+	ns := trimmed.NumStates()
+	// cfgMask[key] = bitset of states whose configuration has that key, so
+	// "restrict the reached set to configuration κ" is one AND.
+	cfgMask := make(map[string]bitset.Row)
+	for q := 0; q < ns; q++ {
+		k := ct.Cfg[q].Key()
+		m, ok := cfgMask[k]
+		if !ok {
+			m = bitset.NewRow(ns)
+			cfgMask[k] = m
 		}
-		return out
+		m.Set(int32(q))
 	}
-	cur := matches(cl.VE[trimmed.Init], kappa(0))
+	restrict := func(r bitset.Row, want Config) {
+		if m, ok := cfgMask[want.Key()]; ok {
+			r.And(m)
+		} else {
+			r.Zero()
+		}
+	}
+	cur := bitset.NewRow(ns)
+	next := bitset.NewRow(ns)
+	cur.CopyFrom(cl.VEB.Row(int(trimmed.Init)))
+	restrict(cur, kappa(0))
 	for i := 0; i < n; i++ {
-		want := kappa(i + 1)
-		next := make([]bool, trimmed.NumStates())
-		for _, p := range cur {
+		next.Zero()
+		for p := cur.NextOne(0); p >= 0; p = cur.NextOne(p + 1) {
 			for _, tr := range trimmed.Adj[p] {
 				if tr.Kind != KChar || !tr.Class.Contains(s[i]) {
 					continue
 				}
-				for _, q := range cl.VE[tr.To] {
-					next[q] = true
-				}
+				next.Or(cl.VEB.Row(int(tr.To)))
 			}
 		}
-		cur = cur[:0]
-		for q, ok := range next {
-			if ok && ct.Cfg[q].Equal(want) {
-				cur = append(cur, int32(q))
-			}
-		}
-		if len(cur) == 0 {
+		restrict(next, kappa(i+1))
+		if !next.Any() {
 			return false, nil
 		}
+		cur, next = next, cur
 	}
-	for _, q := range cur {
-		if q == trimmed.Final {
-			return true, nil
-		}
-	}
-	return false, nil
+	return cur.Test(trimmed.Final), nil
 }

@@ -3,6 +3,8 @@ package vsa
 import (
 	"fmt"
 	"strings"
+
+	"spanjoin/internal/bitset"
 )
 
 // Join implements the natural-join operator ⋈ on functional vset-automata
@@ -134,26 +136,30 @@ func (j *joiner) run() (*VSA, error) {
 }
 
 // boundaryClosures computes, for every state q, the boundary states
-// (character-bearing or final) in the ε/variable closure of q.
+// (character-bearing or final) in the ε/variable closure of q: one AND of
+// the closure row with the boundary mask per state.
 func boundaryClosures(a *VSA) [][]int32 {
-	isBoundary := make([]bool, a.NumStates())
+	n := a.NumStates()
+	boundary := bitset.NewRow(n)
 	for q := range a.Adj {
 		for _, t := range a.Adj[q] {
 			if t.Kind == KChar {
-				isBoundary[q] = true
+				boundary.Set(int32(q))
 				break
 			}
 		}
 	}
-	isBoundary[a.Final] = true
+	boundary.Set(a.Final)
 	cl := a.NewClosures()
-	out := make([][]int32, a.NumStates())
+	out := make([][]int32, n)
+	row := bitset.NewRow(n)
+	var arena []int32
 	for q := range out {
-		for _, e := range cl.VE[q] {
-			if isBoundary[e] {
-				out[q] = append(out[q], e)
-			}
-		}
+		row.CopyFrom(cl.VEB.Row(q))
+		row.And(boundary)
+		start := len(arena)
+		arena = row.AppendOnes(arena)
+		out[q] = arena[start:len(arena):len(arena)]
 	}
 	return out
 }

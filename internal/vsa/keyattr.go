@@ -1,5 +1,7 @@
 package vsa
 
+import "spanjoin/internal/bitset"
+
 // KeyAttribute decides whether the variable x is a key attribute of the
 // functional vset-automaton A (Prop 3.6): x is a key iff for every string s
 // and tuples µ, µ′ ∈ [[A]](s), µ(x) = µ′(x) implies µ = µ′.
@@ -22,6 +24,18 @@ func KeyAttribute(a *VSA, x string) (bool, error) {
 		return true, nil // empty language: vacuously a key
 	}
 	cl := t.NewClosures()
+	ns := t.NumStates()
+
+	// xMask[v] = states whose configuration assigns value v to x, so "all
+	// partners of e1 agreeing on x" is one AND with the VE closure row.
+	var xMask [3]bitset.Row
+	for v := range xMask {
+		xMask[v] = bitset.NewRow(ns)
+	}
+	for q := 0; q < ns; q++ {
+		xMask[ct.Cfg[q][xi]].Set(int32(q))
+	}
+	partners := bitset.NewRow(ns)
 
 	// Tuples are determined by the configuration sequence at the boundary
 	// states q̂_0 … q̂_N (§4.1): q̂_0 ∈ VE(q0), q̂_{i+1} ∈ VE(δ(q̂_i, σ)),
@@ -38,18 +52,22 @@ func KeyAttribute(a *VSA, x string) (bool, error) {
 			queue = append(queue, k)
 		}
 	}
-	agreeOnX := func(q1, q2 int32) bool {
-		return ct.Cfg[q1][xi] == ct.Cfg[q2][xi]
-	}
-	// Initial boundary states.
-	for _, q1 := range cl.VE[t.Init] {
-		for _, q2 := range cl.VE[t.Init] {
-			if !agreeOnX(q1, q2) {
-				continue
+	// pushPairs enqueues all consistent pairs (e1, e2) with e1 ∈ VE(to1),
+	// e2 ∈ VE(to2) agreeing on x, carrying the disagreement flag.
+	pushPairs := func(to1, to2 int32, flag bool) {
+		for _, e1 := range cl.VE[to1] {
+			partners.CopyFrom(cl.VEB.Row(int(to2)))
+			partners.And(xMask[ct.Cfg[e1][xi]])
+			for e2 := partners.NextOne(0); e2 >= 0; e2 = partners.NextOne(e2 + 1) {
+				push(pkey{
+					flag: flag || !ct.Cfg[e1].Equal(ct.Cfg[e2]),
+					q1:   e1, q2: e2,
+				})
 			}
-			push(pkey{flag: !ct.Cfg[q1].Equal(ct.Cfg[q2]), q1: q1, q2: q2})
 		}
 	}
+	// Initial boundary states.
+	pushPairs(t.Init, t.Init, false)
 	for len(queue) > 0 {
 		k := queue[0]
 		queue = queue[1:]
@@ -67,17 +85,7 @@ func KeyAttribute(a *VSA, x string) (bool, error) {
 				if tr1.Class.Intersect(tr2.Class).IsEmpty() {
 					continue
 				}
-				for _, e1 := range cl.VE[tr1.To] {
-					for _, e2 := range cl.VE[tr2.To] {
-						if !agreeOnX(e1, e2) {
-							continue
-						}
-						push(pkey{
-							flag: k.flag || !ct.Cfg[e1].Equal(ct.Cfg[e2]),
-							q1:   e1, q2: e2,
-						})
-					}
-				}
+				pushPairs(tr1.To, tr2.To, k.flag)
 			}
 		}
 	}

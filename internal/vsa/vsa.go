@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"spanjoin/internal/alphabet"
+	"spanjoin/internal/bitset"
 	"spanjoin/internal/span"
 )
 
@@ -216,37 +217,91 @@ func (a *VSA) IsEmptyLanguage() bool {
 //	E(q)  = states reachable from q using only ε-transitions,
 //	VE(q) = states reachable using only ε- and variable transitions.
 //
-// Both include q itself.
+// Both include q itself. The primary representation is a pair of n×n bitset
+// matrices (row q = closure of q), so closure unions and intersections in
+// the hot paths are word operations; Eps and VE are slice views of the same
+// rows, in ascending state order, for code whose iteration order matters.
 type Closures struct {
 	Eps [][]int32
 	VE  [][]int32
+	// EpsB and VEB are the bitset rows backing Eps and VE.
+	EpsB *bitset.Matrix
+	VEB  *bitset.Matrix
 }
 
-// NewClosures computes both closures for every state in O(n(n+m)).
+// NewClosures computes both closures for every state in O(n(n+m)/w) word
+// operations: per state, a frontier BFS that unions whole adjacency rows.
 func (a *VSA) NewClosures() *Closures {
 	n := len(a.Adj)
-	c := &Closures{Eps: make([][]int32, n), VE: make([][]int32, n)}
+	c := &Closures{
+		Eps:  make([][]int32, n),
+		VE:   make([][]int32, n),
+		EpsB: bitset.NewMatrix(n, n),
+		VEB:  bitset.NewMatrix(n, n),
+	}
+	// Direct-successor rows (reflexive) for each closure kind.
+	epsAdj := bitset.NewMatrix(n, n)
+	veAdj := bitset.NewMatrix(n, n)
 	for q := 0; q < n; q++ {
-		c.Eps[q] = a.closureFrom(int32(q), false)
-		c.VE[q] = a.closureFrom(int32(q), true)
+		er, vr := epsAdj.Row(q), veAdj.Row(q)
+		er.Set(int32(q))
+		vr.Set(int32(q))
+		for _, t := range a.Adj[q] {
+			switch t.Kind {
+			case KEps:
+				er.Set(t.To)
+				vr.Set(t.To)
+			case KOpen, KClose:
+				vr.Set(t.To)
+			}
+		}
+	}
+	closeMatrix(c.EpsB, epsAdj, n)
+	closeMatrix(c.VEB, veAdj, n)
+	// Slice views, shared arena, ascending state order.
+	total := 0
+	for q := 0; q < n; q++ {
+		total += c.EpsB.Row(q).Count() + c.VEB.Row(q).Count()
+	}
+	arena := make([]int32, 0, total)
+	for q := 0; q < n; q++ {
+		start := len(arena)
+		arena = c.EpsB.Row(q).AppendOnes(arena)
+		c.Eps[q] = arena[start:len(arena):len(arena)]
+		start = len(arena)
+		arena = c.VEB.Row(q).AppendOnes(arena)
+		c.VE[q] = arena[start:len(arena):len(arena)]
 	}
 	return c
 }
 
-func (a *VSA) closureFrom(q int32, withVars bool) []int32 {
-	seen := make([]bool, len(a.Adj))
-	seen[q] = true
-	order := []int32{q}
-	for i := 0; i < len(order); i++ {
-		for _, t := range a.Adj[order[i]] {
-			ok := t.Kind == KEps || (withVars && (t.Kind == KOpen || t.Kind == KClose))
-			if ok && !seen[t.To] {
-				seen[t.To] = true
-				order = append(order, t.To)
+// closeMatrix fills out with the reflexive-transitive closure of the
+// adjacency matrix adj by per-state frontier BFS: each round unions the
+// whole adjacency rows of the current frontier, so work is word-parallel.
+func closeMatrix(out, adj *bitset.Matrix, n int) {
+	if n == 0 {
+		return
+	}
+	acc := bitset.NewRow(n)
+	frontier := make([]int32, 0, 16)
+	for q := 0; q < n; q++ {
+		row := out.Row(q)
+		row.CopyFrom(adj.Row(q))
+		// frontier = row initially; expand until no new states appear.
+		frontier = row.AppendOnes(frontier[:0])
+		for len(frontier) > 0 {
+			acc.Zero()
+			for _, p := range frontier {
+				acc.Or(adj.Row(int(p)))
 			}
+			acc.AndNot(row) // newly discovered states only
+			if !acc.Any() {
+				break
+			}
+			row.Or(acc)
+			frontier = acc.AppendOnes(frontier[:0])
 		}
 	}
-	return order
 }
 
 // CharTrans returns the character transitions leaving q.

@@ -178,6 +178,103 @@ func (s *Spanner) Iterate(doc string) (*Matches, error) {
 // byte string every matching document must contain, or "".
 func (s *Spanner) RequiredLiteral() string { return s.required }
 
+// Stream evaluates a sequence of documents through one compiled spanner,
+// reusing a single enumerator: the automaton is trimmed, checked for
+// functionality and closed over once, and every document after the first
+// rebuilds the layered graph into preallocated arenas, so steady-state
+// evaluation allocates almost nothing per document beyond the matches.
+// A Stream is not safe for concurrent use; open one per goroutine (they
+// share nothing mutable with their Spanner) or use EvalAllParallel.
+type Stream struct {
+	sp *Spanner
+	e  *enum.Enumerator
+	// functionalOK records a passed functionality check, so prefiltered
+	// documents before the first Prepare don't re-run it.
+	functionalOK bool
+}
+
+// NewStream opens a reusable evaluation stream over the spanner.
+func (s *Spanner) NewStream() *Stream { return &Stream{sp: s} }
+
+// Eval materializes all matches of the stream's spanner on doc, like
+// Spanner.Eval but amortizing the per-document setup across the stream.
+func (st *Stream) Eval(doc string) ([]Match, error) {
+	ms, err := st.Iterate(doc)
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, m)
+	}
+}
+
+// Iterate enumerates matches on doc with polynomial delay. The returned
+// Matches borrows the stream's enumerator: drain (or abandon) it before the
+// next Iterate or Eval call on the same stream.
+func (st *Stream) Iterate(doc string) (*Matches, error) {
+	sp := st.sp
+	if sp.required != "" && !strings.Contains(doc, sp.required) {
+		// Required-literal prefilter: skip even the graph rebuild. The
+		// functionality check runs at most once per stream.
+		if !st.functionalOK && sp.auto.IsFunctional() {
+			st.functionalOK = true
+		}
+		if st.functionalOK {
+			return &Matches{it: emptyIter{}, vars: sp.auto.Vars, doc: doc}, nil
+		}
+	}
+	if st.e == nil {
+		e, err := enum.Prepare(sp.auto, doc)
+		if err != nil {
+			return nil, err
+		}
+		st.e = e
+		st.functionalOK = true
+	} else {
+		st.e.Reset(doc)
+	}
+	return &Matches{it: st.e, vars: st.e.Vars(), doc: doc}, nil
+}
+
+// EvalAll evaluates the spanner on every document through one reused
+// enumerator, returning per-document match sets indexed like docs.
+func (s *Spanner) EvalAll(docs []string) ([][]Match, error) {
+	st := s.NewStream()
+	out := make([][]Match, len(docs))
+	for i, doc := range docs {
+		ms, err := st.Eval(doc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
+// EvalAllParallel is EvalAll with a pool of workers, each owning one
+// reusable enumerator over the shared compiled automaton. Results keep the
+// order of docs; workers ≤ 0 selects GOMAXPROCS.
+func (s *Spanner) EvalAllParallel(docs []string, workers int) ([][]Match, error) {
+	vars, tuples, err := enum.EvalAllDocs(s.auto, docs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(docs))
+	for i, ts := range tuples {
+		ms := make([]Match, len(ts))
+		for k, t := range ts {
+			ms[k] = Match{vars: vars, tuple: t, doc: docs[i]}
+		}
+		out[i] = ms
+	}
+	return out, nil
+}
+
 type emptyIter struct{}
 
 func (emptyIter) Next() (span.Tuple, bool) { return nil, false }
