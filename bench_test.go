@@ -5,6 +5,7 @@
 package spanjoin_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -474,4 +475,46 @@ func BenchmarkParallelEnumeration(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCorpusEval: the corpus engine end to end — sharded fan-out with
+// per-worker enumerator reuse and the compiled-query cache (every
+// iteration after the first is a cache hit), vs the flat EvalAllParallel
+// worker pool over the same documents.
+func BenchmarkCorpusEval(b *testing.B) {
+	r := workload.Rand(77)
+	docs := make([]string, 256)
+	for i := range docs {
+		docs[i] = workload.Document(r, workload.DocumentOptions{Sentences: 3, EmailRate: 0.5})
+	}
+	const pattern = `mail{[a-z]+@[a-z]+\.[a-z]+}`
+	ctx := context.Background()
+	for _, shards := range []int{1, 4, 16} {
+		c := spanjoin.NewCorpus(spanjoin.WithShards(shards))
+		c.AddAll(docs...)
+		b.Run(fmt.Sprintf("corpus/shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ms, err := c.EvalSearch(ctx, pattern)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, ok := ms.Next(); !ok {
+						break
+					}
+				}
+				if err := ms.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	sp := spanjoin.MustCompileSearch(pattern)
+	b.Run("flat-evalallparallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sp.EvalAllParallel(docs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

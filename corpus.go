@@ -1,0 +1,317 @@
+package spanjoin
+
+import (
+	"context"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/corpus"
+	"spanjoin/internal/span"
+)
+
+// DocID identifies a document in a Corpus; IDs are stable for the life of
+// the corpus.
+type DocID = corpus.DocID
+
+// Corpus is a sharded, append-only collection of documents with a shared
+// compiled-query cache — the engine's multi-document layer. Add documents
+// from any number of goroutines; evaluate patterns, spanners and queries
+// over the whole corpus with Eval and friends, which fan the shards out to
+// a worker pool (each worker owning one Reset-able enumerator over the
+// shared compiled automaton) and stream (DocID, Match) results through a
+// bounded channel with context cancellation.
+//
+// Repeated Eval calls with the same pattern hit the LRU compiled-query
+// cache; concurrent identical misses compile once (singleflight). A Corpus
+// is safe for concurrent use.
+type Corpus struct {
+	store   *corpus.Store
+	cache   *corpus.Cache
+	workers int
+	buffer  int
+}
+
+// corpusConfig collects the options of NewCorpus.
+type corpusConfig struct {
+	shards   int
+	cacheCap int
+	workers  int
+	buffer   int
+}
+
+// CorpusOption configures a Corpus at creation.
+type CorpusOption func(*corpusConfig)
+
+// WithShards sets the shard count (default GOMAXPROCS). More shards mean
+// less write contention and finer-grained evaluation work units.
+func WithShards(n int) CorpusOption {
+	return func(c *corpusConfig) { c.shards = n }
+}
+
+// WithCacheCapacity bounds the compiled-query LRU cache (default 128
+// compiled patterns).
+func WithCacheCapacity(n int) CorpusOption {
+	return func(c *corpusConfig) { c.cacheCap = n }
+}
+
+// WithWorkers sets the evaluation pool size (default GOMAXPROCS).
+func WithWorkers(n int) CorpusOption {
+	return func(c *corpusConfig) { c.workers = n }
+}
+
+// WithResultBuffer sets the result channel capacity of corpus evaluations
+// (default 256) — the window by which enumeration may run ahead of the
+// consumer.
+func WithResultBuffer(n int) CorpusOption {
+	return func(c *corpusConfig) { c.buffer = n }
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus(opts ...CorpusOption) *Corpus {
+	var cfg corpusConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Corpus{
+		store:   corpus.NewStore(cfg.shards),
+		cache:   corpus.NewCache(cfg.cacheCap),
+		workers: cfg.workers,
+		buffer:  cfg.buffer,
+	}
+}
+
+// Add appends a document and returns its stable ID.
+func (c *Corpus) Add(doc string) DocID { return c.store.Add(doc) }
+
+// AddAll appends documents and returns their IDs, indexed like docs.
+func (c *Corpus) AddAll(docs ...string) []DocID {
+	ids := make([]DocID, len(docs))
+	for i, d := range docs {
+		ids[i] = c.store.Add(d)
+	}
+	return ids
+}
+
+// Doc returns the document with the given ID.
+func (c *Corpus) Doc(id DocID) (string, bool) { return c.store.Get(id) }
+
+// Len reports the number of documents.
+func (c *Corpus) Len() int { return c.store.Len() }
+
+// NumShards reports the shard count.
+func (c *Corpus) NumShards() int { return c.store.NumShards() }
+
+// CacheStats is a snapshot of the compiled-query cache counters.
+type CacheStats struct {
+	// Hits counts Eval compilations served from the cache, including
+	// callers that joined an in-flight compilation (singleflight).
+	Hits uint64
+	// Misses counts compilations actually run.
+	Misses uint64
+	// Resident is the number of compiled artifacts currently cached.
+	Resident int
+}
+
+// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStats reports the compiled-query cache counters.
+func (c *Corpus) CacheStats() CacheStats {
+	h, m := c.cache.Stats()
+	return CacheStats{Hits: h, Misses: m, Resident: c.cache.Len()}
+}
+
+// CorpusMatch is one streamed corpus result: a match bound to the document
+// it was extracted from.
+type CorpusMatch struct {
+	Doc   DocID
+	Match Match
+}
+
+// CorpusMatches streams the results of a corpus evaluation. Drain it with
+// Next, then check Err; Close aborts early. Results arrive in no
+// guaranteed order across documents, but within one document in the
+// engine's deterministic radix order.
+type CorpusMatches struct {
+	res   *corpus.Results
+	store *corpus.Store
+	vars  span.VarList
+
+	// Last resolved document: matches of one document arrive contiguously,
+	// so this avoids a store lookup (shard read lock) per streamed tuple.
+	lastID  DocID
+	lastDoc string
+	lastOK  bool
+}
+
+// Next returns the next match; ok is false when the stream is exhausted,
+// cancelled or failed — distinguish with Err.
+func (m *CorpusMatches) Next() (CorpusMatch, bool) {
+	r, ok := m.res.Next()
+	if !ok {
+		return CorpusMatch{}, false
+	}
+	if !m.lastOK || r.Doc != m.lastID {
+		m.lastDoc, _ = m.store.Get(r.Doc)
+		m.lastID, m.lastOK = r.Doc, true
+	}
+	return CorpusMatch{Doc: r.Doc, Match: Match{vars: m.vars, tuple: r.Tuple, doc: m.lastDoc}}, true
+}
+
+// Vars lists the output variables.
+func (m *CorpusMatches) Vars() []string { return append([]string(nil), m.vars...) }
+
+// Err reports the first evaluation error or the context's error after a
+// cancellation; nil after normal exhaustion or Close.
+func (m *CorpusMatches) Err() error { return m.res.Err() }
+
+// Close aborts the evaluation and releases its worker pool. Safe to call
+// multiple times or after exhaustion.
+func (m *CorpusMatches) Close() { m.res.Close() }
+
+// Eval compiles the pattern (through the corpus cache) and evaluates it
+// over every document, streaming matches. The pattern must match whole
+// documents, like Spanner.Eval; use EvalSearch for substring semantics.
+func (c *Corpus) Eval(ctx context.Context, pattern string) (*CorpusMatches, error) {
+	sp, err := c.compileCached("anchor", pattern, Compile)
+	if err != nil {
+		return nil, err
+	}
+	return c.EvalSpanner(ctx, sp)
+}
+
+// EvalSearch is Eval with substring semantics: the pattern is compiled
+// unanchored (CompileSearch), cached separately from anchored compiles of
+// the same source.
+func (c *Corpus) EvalSearch(ctx context.Context, pattern string) (*CorpusMatches, error) {
+	sp, err := c.compileCached("search", pattern, CompileSearch)
+	if err != nil {
+		return nil, err
+	}
+	return c.EvalSpanner(ctx, sp)
+}
+
+// compileCached deduplicates compilation through the LRU cache, keyed by
+// the pattern source plus the compilation mode; concurrent misses on one
+// key compile once.
+func (c *Corpus) compileCached(mode, pattern string, compile func(string) (*Spanner, error)) (*Spanner, error) {
+	v, err := c.cache.Get(mode+"\x00"+pattern, func() (any, error) {
+		return compile(pattern)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Spanner), nil
+}
+
+// EvalSpanner evaluates a precompiled spanner over every document in the
+// corpus (bypassing the cache). The spanner's required-literal prefilter
+// skips non-matching documents before any per-document work.
+func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner) (*CorpusMatches, error) {
+	res, err := c.store.Eval(ctx, sp.auto, corpus.EvalOptions{
+		Workers:         c.workers,
+		Buffer:          c.buffer,
+		RequiredLiteral: sp.required,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
+}
+
+// EvalQuery evaluates a conjunctive query over every document. Queries
+// without string equalities compile once into a single automaton (Theorem
+// 3.11) and take the shared-enumerator fast path; queries with equalities
+// — whose automata exist only per input string (Theorem 5.4) — and
+// queries forced onto the canonical strategy evaluate document by
+// document with the chosen plan.
+func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*CorpusMatches, error) {
+	o := buildOptions(opts)
+	forcedCanonical := o.Strategy == core.Canonical
+	if len(q.cq.Equalities) == 0 && !forcedCanonical {
+		// Equality-free fast path: the whole plan (join + projection) is
+		// document independent; compile once per Query and share the
+		// enumerator arenas across the worker pool.
+		auto, err := q.compiledAutomaton()
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.store.Eval(ctx, auto, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer})
+		if err != nil {
+			return nil, err
+		}
+		return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
+	}
+	vars := q.cq.OutVars()
+	var newEval func() corpus.DocEval
+	if !forcedCanonical && q.cq.Plan(o) == core.Automata {
+		// Automata plan with equalities: hoist the document-independent
+		// atom join; only ζ= compilation, projection and Prepare run per
+		// document (Thm 5.4).
+		joined, err := q.joinedAtoms()
+		if err != nil {
+			return nil, err
+		}
+		newEval = func() corpus.DocEval {
+			return func(doc string, emit func(span.Tuple) bool) error {
+				it, err := q.cq.EnumerateJoined(joined, doc)
+				if err != nil {
+					return err
+				}
+				return emitAll(it, emit)
+			}
+		}
+	} else {
+		newEval = func() corpus.DocEval {
+			return func(doc string, emit func(span.Tuple) bool) error {
+				it, err := q.cq.Enumerate(doc, o)
+				if err != nil {
+					return err
+				}
+				return emitAll(it, emit)
+			}
+		}
+	}
+	res := c.store.EvalFunc(ctx, vars, newEval, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer})
+	return &CorpusMatches{res: res, store: c.store, vars: vars}, nil
+}
+
+// emitAll drains an iterator into emit, stopping early on cancellation.
+func emitAll(it core.Iterator, emit func(span.Tuple) bool) error {
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		if !emit(t) {
+			return nil
+		}
+	}
+}
+
+// EvalAll is Eval materialized: all matches grouped by document. Documents
+// without matches have no entry.
+func (c *Corpus) EvalAll(ctx context.Context, pattern string) (map[DocID][]Match, error) {
+	ms, err := c.Eval(ctx, pattern)
+	if err != nil {
+		return nil, err
+	}
+	defer ms.Close()
+	out := make(map[DocID][]Match)
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		out[m.Doc] = append(out[m.Doc], m.Match)
+	}
+	if err := ms.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package spanjoin_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"spanjoin"
+)
+
+// TestCorpusConcurrentAddEvalCache hammers one Corpus from 16 goroutines —
+// adders appending documents, evaluators repeating one cached query,
+// evaluators rotating through distinct queries — and checks, per
+// evaluation, that no result is lost (every document present before the
+// evaluation began is reported) and none is duplicated (each document
+// yields its exact match multiset, here exactly one match). Run under
+// -race this also exercises the store/cache/pool synchronization.
+func TestCorpusConcurrentAddEvalCache(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(8), spanjoin.WithWorkers(4))
+	ctx := context.Background()
+
+	// Every document contains exactly one occurrence of "qq" (the letters
+	// q never occur elsewhere), so the anchored pattern below has exactly
+	// one match per document.
+	makeDoc := func(g, i int) string {
+		return fmt.Sprintf("abba%dqqab%d", g, i)
+	}
+	pattern := `[a-p0-9]*x{qq}[a-p0-9]*`
+
+	// Seed documents so the very first evaluations see a populated corpus.
+	var mu sync.Mutex
+	known := make(map[spanjoin.DocID]bool)
+	for i := 0; i < 40; i++ {
+		known[c.Add(makeDoc(99, i))] = true
+	}
+
+	snapshotKnown := func() []spanjoin.DocID {
+		mu.Lock()
+		defer mu.Unlock()
+		ids := make([]spanjoin.DocID, 0, len(known))
+		for id := range known {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+
+	const adders, repeatEvals, mixedEvals = 4, 8, 4 // 16 goroutines total
+	var wg sync.WaitGroup
+	errs := make(chan error, adders+repeatEvals+mixedEvals)
+
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				id := c.Add(makeDoc(g, i))
+				mu.Lock()
+				known[id] = true
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	runEval := func(pat string) error {
+		pre := snapshotKnown() // all IDs added before this evaluation began
+		ms, err := c.Eval(ctx, pat)
+		if err != nil {
+			return err
+		}
+		perDoc := make(map[spanjoin.DocID]int)
+		for {
+			m, ok := ms.Next()
+			if !ok {
+				break
+			}
+			if _, ok := c.Doc(m.Doc); !ok {
+				return fmt.Errorf("result for unknown doc %d", m.Doc)
+			}
+			if m.Match.MustSubstr("x") != "qq" {
+				return fmt.Errorf("doc %d: match %q, want qq", m.Doc, m.Match.MustSubstr("x"))
+			}
+			perDoc[m.Doc]++
+		}
+		if err := ms.Err(); err != nil {
+			return err
+		}
+		for id, n := range perDoc {
+			if n != 1 {
+				return fmt.Errorf("doc %d reported %d times (duplicated result)", id, n)
+			}
+		}
+		for _, id := range pre {
+			if perDoc[id] != 1 {
+				return fmt.Errorf("doc %d added before eval missing (lost result)", id)
+			}
+		}
+		return nil
+	}
+
+	for g := 0; g < repeatEvals; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := runEval(pattern); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Mixed evaluators rotate through equivalent but distinct sources, so
+	// the cache holds several artifacts and keeps being exercised on both
+	// hit and miss paths.
+	variants := []string{
+		pattern,
+		`[0-9a-p]*x{qq}[a-p0-9]*`,
+		`(a|b|[0-9a-p])*x{qq}[a-p0-9]*`,
+	}
+	for g := 0; g < mixedEvals; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				if err := runEval(variants[(g+i)%len(variants)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Repeated identical sources must have hit the cache far more often
+	// than they compiled: ≥ 90% over the whole run.
+	st := c.CacheStats()
+	if st.Misses > uint64(len(variants)) {
+		t.Fatalf("stats = %+v: identical queries recompiled", st)
+	}
+	if rate := st.HitRate(); rate < 0.9 {
+		t.Fatalf("cache hit rate %.2f, want ≥ 0.90 (%+v)", rate, st)
+	}
+	// Every document is still resolvable after the dust settles.
+	for _, id := range snapshotKnown() {
+		doc, ok := c.Doc(id)
+		if !ok || !strings.Contains(doc, "qq") {
+			t.Fatalf("doc %d unresolvable after concurrent run", id)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package spanjoin_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"spanjoin"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+)
+
+// oracleEval evaluates the pattern with the brute-force ref-word oracle.
+func oracleEval(t *testing.T, pattern, doc string) []span.Tuple {
+	t.Helper()
+	f, err := rgx.Parse(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oracle.EvalFormula(f, doc)
+}
+
+// fuzzPatterns are small functional regex formulas over {a, b}; the fuzzer
+// picks one by index so pattern choice stays in the corpus-minimizable
+// input.
+var fuzzPatterns = []string{
+	`x{a+}`,
+	`(a|b)*x{a+}(a|b)*`,
+	`x{(a|b)*}`,
+	`x{a*}y{b*}`,
+	`(a|b)*x{a}y{b?}(a|b)*`,
+	`x{a*}(a|b)*y{a*}`,
+	`a*x{a*}a*`,
+	`(a|b)*x{(a|b)+}(a|b)*`,
+}
+
+// fuzzDocs derives a small document set over {a, b} from raw fuzz bytes:
+// '|' separates documents, every other byte maps onto a or b by parity.
+// At most 8 documents of at most 12 bytes keep the reference evaluation
+// cheap.
+func fuzzDocs(blob string) []string {
+	parts := strings.Split(blob, "|")
+	if len(parts) > 8 {
+		parts = parts[:8]
+	}
+	docs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if len(p) > 12 {
+			p = p[:12]
+		}
+		b := []byte(p)
+		for i := range b {
+			if b[i]%2 == 0 {
+				b[i] = 'a'
+			} else {
+				b[i] = 'b'
+			}
+		}
+		docs = append(docs, string(b))
+	}
+	return docs
+}
+
+// FuzzCorpusVsEval is the differential harness for the corpus engine:
+// random small patterns and document sets go through Corpus.Eval (sharded,
+// pooled, streamed) and through per-document Spanner.Eval (the
+// polynomial-delay reference, Theorem 3.3), and the match multisets must
+// be identical per document — any lost, duplicated or misattributed
+// result across the shard/worker/channel machinery fails.
+func FuzzCorpusVsEval(f *testing.F) {
+	f.Add(uint8(0), "aab|ba|abab")
+	f.Add(uint8(1), "aaaa|b|")
+	f.Add(uint8(3), "ab|aabb|bbaa|a")
+	f.Add(uint8(5), "aaa")
+	f.Add(uint8(7), "abab|baba|aa|bb|a|b||ab")
+	f.Fuzz(func(t *testing.T, pi uint8, blob string) {
+		pattern := fuzzPatterns[int(pi)%len(fuzzPatterns)]
+		docs := fuzzDocs(blob)
+		sp, err := spanjoin.Compile(pattern)
+		if err != nil {
+			t.Fatalf("fuzz pattern %q must compile: %v", pattern, err)
+		}
+
+		c := spanjoin.NewCorpus(spanjoin.WithShards(3), spanjoin.WithWorkers(2))
+		ids := c.AddAll(docs...)
+		ms, err := c.Eval(context.Background(), pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[spanjoin.DocID][]span.Tuple)
+		for {
+			m, ok := ms.Next()
+			if !ok {
+				break
+			}
+			got[m.Doc] = append(got[m.Doc], tupleOf(m.Match))
+		}
+		if err := ms.Err(); err != nil {
+			t.Fatal(err)
+		}
+
+		for i, doc := range docs {
+			ref, err := sp.Eval(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]span.Tuple, len(ref))
+			for k, m := range ref {
+				want[k] = tupleOf(m)
+			}
+			if !sameTupleMultiset(got[ids[i]], want) {
+				t.Fatalf("pattern %q doc %q: corpus %v, per-doc eval %v",
+					pattern, doc, got[ids[i]], want)
+			}
+			// The per-document stream must also preserve the engine's
+			// deterministic radix order, not just the multiset.
+			for k := range want {
+				if got[ids[i]][k].Compare(want[k]) != 0 {
+					t.Fatalf("pattern %q doc %q: order differs at %d", pattern, doc, k)
+				}
+			}
+			// On tiny inputs, additionally pin both against the brute-force
+			// ref-word oracle (§2.2 semantics, shares no code with either).
+			if len(doc) <= 4 {
+				if !oracle.EqualTupleSets(want, oracleEval(t, pattern, doc)) {
+					t.Fatalf("pattern %q doc %q: engine disagrees with oracle", pattern, doc)
+				}
+			}
+		}
+	})
+}

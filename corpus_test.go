@@ -1,0 +1,286 @@
+package spanjoin_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"spanjoin"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/span"
+	"spanjoin/internal/workload"
+)
+
+// tupleOf projects a Match back onto a span.Tuple (aligned with the sorted
+// variable list), so corpus output can be compared with the tuple-level
+// oracles.
+func tupleOf(m spanjoin.Match) span.Tuple {
+	vars := m.Vars()
+	t := make(span.Tuple, len(vars))
+	for i, v := range vars {
+		s, ok := m.Span(v)
+		if !ok {
+			panic("missing variable " + v)
+		}
+		t[i] = s
+	}
+	return t
+}
+
+// sameTupleMultiset compares tuple slices as multisets: same length and,
+// after canonical sorting, pairwise equal — so a lost or duplicated result
+// fails even when the set of distinct tuples agrees.
+func sameTupleMultiset(a, b []span.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	a, b = append([]span.Tuple(nil), a...), append([]span.Tuple(nil), b...)
+	oracle.SortTuples(a)
+	oracle.SortTuples(b)
+	for i := range a {
+		if a[i].Compare(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func drainByDoc(t *testing.T, ms *spanjoin.CorpusMatches) map[spanjoin.DocID][]span.Tuple {
+	t.Helper()
+	out := make(map[spanjoin.DocID][]span.Tuple)
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		out[m.Doc] = append(out[m.Doc], tupleOf(m.Match))
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCorpusEvalMatchesPerDocumentEval: Corpus.Eval must return, per
+// document, exactly Spanner.Eval's result — same tuples, same per-document
+// order — for every shard/worker geometry.
+func TestCorpusEvalMatchesPerDocumentEval(t *testing.T) {
+	r := workload.Rand(2024)
+	var docs []string
+	for i := 0; i < 30; i++ {
+		docs = append(docs, workload.Document(r, workload.DocumentOptions{
+			Sentences: 3, EmailRate: 0.5,
+		}))
+	}
+	const pattern = `mail{user{[a-z]+}@domain{[a-z]+\.[a-z]+}}`
+	sp := spanjoin.MustCompileSearch(pattern)
+	for _, shards := range []int{1, 4, 16} {
+		c := spanjoin.NewCorpus(spanjoin.WithShards(shards))
+		ids := c.AddAll(docs...)
+		ms, err := c.EvalSearch(context.Background(), pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainByDoc(t, ms)
+		for i, doc := range docs {
+			ref, err := sp.Eval(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]span.Tuple, len(ref))
+			for k, m := range ref {
+				want[k] = tupleOf(m)
+			}
+			have := got[ids[i]]
+			if len(have) != len(want) {
+				t.Fatalf("shards=%d doc %d: %d matches, want %d", shards, i, len(have), len(want))
+			}
+			for k := range want {
+				if have[k].Compare(want[k]) != 0 {
+					t.Fatalf("shards=%d doc %d: order differs at %d", shards, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusMatchBindsDocument: streamed matches must resolve substrings
+// against their own document.
+func TestCorpusMatchBindsDocument(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(3))
+	c.AddAll("write to alice@example.org now", "or to bob@example.net instead", "no address here")
+	ms, err := c.EvalSearch(context.Background(), `mail{[a-z]+@[a-z]+\.[a-z]+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	found := map[string]bool{}
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		found[m.Match.MustSubstr("mail")] = true
+		doc, ok := c.Doc(m.Doc)
+		if !ok || !strings.Contains(doc, m.Match.MustSubstr("mail")) {
+			t.Fatalf("match %q does not occur in its document %q", m.Match.MustSubstr("mail"), doc)
+		}
+	}
+	// The unanchored pattern also matches sub-spans of each address; the
+	// full addresses must be among them.
+	if !found["alice@example.org"] || !found["bob@example.net"] {
+		t.Fatalf("full addresses missing from %v", found)
+	}
+}
+
+// TestCorpusCompiledQueryCache: repeated queries must hit the cache, and
+// anchored/search compilations of one source must not collide.
+func TestCorpusCompiledQueryCache(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(2), spanjoin.WithCacheCapacity(8))
+	c.AddAll("aaa", "aab")
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		ms, err := c.Eval(ctx, `x{a+}b?`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms.Close()
+	}
+	st := c.CacheStats()
+	if st.Misses != 1 || st.Hits != 9 {
+		t.Fatalf("stats = %+v, want 1 miss / 9 hits", st)
+	}
+	if rate := st.HitRate(); rate < 0.89 {
+		t.Fatalf("hit rate %.2f, want ≥ 0.9", rate)
+	}
+	// Same source, different mode: distinct artifact.
+	anchored, err := c.Eval(ctx, `x{a+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na := len(drainByDoc(t, anchored))
+	search, err := c.EvalSearch(ctx, `x{a+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := len(drainByDoc(t, search))
+	if na != 1 || ns != 2 { // anchored matches only "aaa"; search matches both
+		t.Fatalf("anchored matched %d docs, search %d; want 1 and 2", na, ns)
+	}
+	if st := c.CacheStats(); st.Resident != 3 {
+		t.Fatalf("resident = %d, want 3 (x{a+}b?, x{a+} anchored, x{a+} search)", st.Resident)
+	}
+}
+
+func TestCorpusEvalCompileError(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	if _, err := c.Eval(context.Background(), `x{a}|y{b}`); err == nil {
+		t.Fatal("non-functional pattern must fail to compile")
+	}
+	// The error must not be cached: a later valid pattern with the same
+	// prefix still works, and the bad key re-compiles (and re-fails).
+	if _, err := c.Eval(context.Background(), `x{a}|y{b}`); err == nil {
+		t.Fatal("second compile must fail too")
+	}
+	if st := c.CacheStats(); st.Resident != 0 {
+		t.Fatalf("failed compilations must not be cached; resident = %d", st.Resident)
+	}
+}
+
+// TestCorpusEvalQueryBothPlans: the compiled fast path (no equalities) and
+// the per-document plan (equalities / forced canonical) must agree with
+// Query.Evaluate on every document.
+func TestCorpusEvalQueryBothPlans(t *testing.T) {
+	docs := []string{"abab", "aabb", "ba", "abba", ""}
+	ctx := context.Background()
+
+	plain := spanjoin.NewQuery().
+		AtomNamed("xs", `(a|b)*x{a+}(a|b)*`).
+		AtomNamed("ys", `(a|b)*y{b+}(a|b)*`).
+		MustBuild()
+	eq := spanjoin.NewQuery().
+		AtomNamed("pair", `(a|b)*x{(a|b)+}(a|b)*y{(a|b)+}(a|b)*`).
+		Equal("x", "y").
+		MustBuild()
+
+	cases := []struct {
+		name string
+		q    *spanjoin.Query
+		opts []spanjoin.Option
+	}{
+		{"compiled-fast-path", plain, nil},
+		{"forced-canonical", plain, []spanjoin.Option{spanjoin.WithStrategy(spanjoin.StrategyCanonical)}},
+		{"equalities-per-doc", eq, nil},
+	}
+	for _, tc := range cases {
+		c := spanjoin.NewCorpus(spanjoin.WithShards(3))
+		ids := c.AddAll(docs...)
+		// Two passes: the second reuses the Query's memoized compilation
+		// artifacts and must agree with the first.
+		for pass := 0; pass < 2; pass++ {
+			ms, err := c.EvalQuery(ctx, tc.q, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := drainByDoc(t, ms)
+			for i, doc := range docs {
+				ref, err := tc.q.Evaluate(doc, tc.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := make([]span.Tuple, len(ref))
+				for k, m := range ref {
+					want[k] = tupleOf(m)
+				}
+				if !sameTupleMultiset(got[ids[i]], want) {
+					t.Fatalf("%s pass %d doc %q: corpus %v, per-doc %v", tc.name, pass, doc, got[ids[i]], want)
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusEvalCancellation: a cancelled context must end the stream and
+// surface through Err.
+func TestCorpusEvalCancellation(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(4), spanjoin.WithResultBuffer(1))
+	big := strings.Repeat("a", 300)
+	for i := 0; i < 16; i++ {
+		c.Add(big)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ms, err := c.Eval(ctx, `a*x{a*}a*`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := ms.Next(); !ok {
+			t.Fatal("stream ended before cancel")
+		}
+	}
+	cancel()
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+	}
+	if err := ms.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCorpusEvalAll(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(2))
+	ids := c.AddAll("aa", "b", "a")
+	got, err := c.EvalAll(context.Background(), `x{a+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[ids[0]]) != 1 || len(got[ids[2]]) != 1 {
+		t.Fatalf("EvalAll = %v", got)
+	}
+	if _, ok := got[ids[1]]; ok {
+		t.Fatal("non-matching document must have no entry")
+	}
+}

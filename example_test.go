@@ -2,6 +2,7 @@ package spanjoin_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"spanjoin"
@@ -17,6 +18,28 @@ func ExampleCompile() {
 	}
 	// Output:
 	// timeout -> 30
+}
+
+// Evaluating one pattern over a whole corpus: documents live in a sharded
+// store, the compiled pattern is cached, and results stream per document.
+func ExampleCorpus() {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(4))
+	ids := c.AddAll(
+		"order id=alpha42 shipped",
+		"no ids here",
+		"retry id=beta7 queued",
+	)
+	byDoc, _ := c.EvalAll(context.Background(), `.*id=x{[a-z]+[0-9]+} .*`)
+	for i, id := range ids {
+		for _, m := range byDoc[id] {
+			fmt.Println("doc", i, "->", m.MustSubstr("x"))
+		}
+	}
+	fmt.Println("compiles:", c.CacheStats().Misses)
+	// Output:
+	// doc 0 -> alpha42
+	// doc 2 -> beta7
+	// compiles: 1
 }
 
 // CompileSearch wraps the pattern in Σ*·α·Σ*, matching anywhere.

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"context"
+
+	"spanjoin/internal/span"
+)
+
+// CtxIterator wraps an Iterator with periodic cancellation checks, so
+// long-running query enumerations (Theorem 3.11 streams can be huge even
+// with polynomial delay) are abortable mid-stream. After Next has returned
+// ok=false, Err distinguishes exhaustion (nil) from cancellation.
+type CtxIterator struct {
+	ctx context.Context
+	it  Iterator
+	n   uint
+	err error
+}
+
+// WithContext wraps it so Next stops — returning ok=false — once ctx is
+// done. Cancellation is polled on the first call and every 64 tuples.
+func WithContext(ctx context.Context, it Iterator) *CtxIterator {
+	return &CtxIterator{ctx: ctx, it: it}
+}
+
+// Next returns the next tuple; ok is false on exhaustion or cancellation.
+func (c *CtxIterator) Next() (span.Tuple, bool) {
+	if c.err != nil {
+		return nil, false
+	}
+	if c.n&63 == 0 {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			return nil, false
+		}
+	}
+	c.n++
+	return c.it.Next()
+}
+
+// Vars lists the output variables.
+func (c *CtxIterator) Vars() span.VarList { return c.it.Vars() }
+
+// Err reports why the iteration stopped: nil for exhaustion, the context's
+// error for cancellation.
+func (c *CtxIterator) Err() error { return c.err }
+
+var _ Iterator = (*CtxIterator)(nil)

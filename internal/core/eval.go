@@ -138,10 +138,27 @@ func (q *CQ) atomPolyBounded(a *Atom, opts Options) bool {
 // enumAutomata is the compilation plan: join, runtime equality compilation,
 // projection, polynomial-delay enumeration.
 func (q *CQ) enumAutomata(s string) (Iterator, error) {
-	joined, err := vsa.JoinAll(atomAutos(q.Atoms)...)
+	joined, err := q.JoinAtoms()
 	if err != nil {
 		return nil, err
 	}
+	return q.EnumerateJoined(joined, s)
+}
+
+// JoinAtoms performs the document-independent part of the automata plan:
+// the join of all atom automata (Lemma 3.10), before equality selections
+// and projection. Callers evaluating one query over many documents compute
+// it once and pass it to EnumerateJoined per document.
+func (q *CQ) JoinAtoms() (*vsa.VSA, error) {
+	return vsa.JoinAll(atomAutos(q.Atoms)...)
+}
+
+// EnumerateJoined applies the document-dependent tail of the automata plan
+// to a precomputed atom join: string-equality compilation for s (Thm 5.4),
+// projection, and polynomial-delay enumeration. joined must come from
+// JoinAtoms on the same query.
+func (q *CQ) EnumerateJoined(joined *vsa.VSA, s string) (Iterator, error) {
+	var err error
 	if len(q.Equalities) > 0 {
 		joined, err = strequal.Apply(joined, s, q.Equalities)
 		if err != nil {

@@ -1,0 +1,113 @@
+package corpus
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is an LRU cache of compiled query artifacts keyed by source text
+// plus options, with singleflight compilation: concurrent Get calls for
+// the same missing key compile once and share the result. Compilation
+// errors are returned to every waiter but never cached, so a transient
+// failure does not poison the key.
+type Cache struct {
+	hits, misses atomic.Uint64
+
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recent
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress compilation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache creates a cache holding at most capacity compiled artifacts;
+// capacity ≤ 0 selects 128.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the cached artifact for key, compiling it with compile on a
+// miss. Concurrent Gets of one missing key run compile exactly once; the
+// losers count as hits (they reuse the winner's work).
+func (c *Cache) Get(key string, compile func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).val, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err == nil {
+			c.hits.Add(1)
+		} else {
+			c.misses.Add(1)
+		}
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	f.val, f.err = compile()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		if el, ok := c.entries[key]; ok {
+			// Lost a race with an eviction-refill cycle; keep the resident
+			// value so all callers observe one artifact per key.
+			c.ll.MoveToFront(el)
+			f.val = el.Value.(*cacheEntry).val
+		} else {
+			c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+			for c.ll.Len() > c.capacity {
+				old := c.ll.Back()
+				c.ll.Remove(old)
+				delete(c.entries, old.Value.(*cacheEntry).key)
+			}
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Len reports the number of resident artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports cumulative hit and miss counts. A waiter that joined an
+// in-flight compilation counts as a hit when the compilation succeeded
+// (it reused the winner's work) and as a miss when it failed; the
+// compiling caller always counts as a miss.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,98 @@
+package corpus
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitMissAndLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	compiles := 0
+	get := func(key string) any {
+		v, err := c.Get(key, func() (any, error) {
+			compiles++
+			return "compiled:" + key, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	get("a")
+	get("b")
+	if v := get("a"); v != "compiled:a" { // refresh a's recency
+		t.Fatalf("got %v", v)
+	}
+	get("c") // evicts b (least recent)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	get("b") // must recompile
+	if compiles != 4 {
+		t.Fatalf("compiles = %d, want 4 (a, b, c, b-again)", compiles)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/4", hits, misses)
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := c.Get("k", func() (any, error) { calls++; return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("compile ran %d times, want 2 (errors are not cached)", calls)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after errors, want 0", c.Len())
+	}
+}
+
+// TestCacheSingleflight: concurrent Gets of one missing key run the
+// compile function exactly once and all observe its result.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(4)
+	var compiles atomic.Int32
+	gate := make(chan struct{})
+	const goroutines = 16
+	results := make([]any, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v, err := c.Get("shared", func() (any, error) {
+				<-gate // hold every racer in Get until all have arrived
+				compiles.Add(1)
+				return "artifact", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = v
+		}(g)
+	}
+	close(gate)
+	wg.Wait()
+	if n := compiles.Load(); n != 1 {
+		t.Fatalf("compile ran %d times, want 1", n)
+	}
+	for g, v := range results {
+		if v != "artifact" {
+			t.Fatalf("goroutine %d got %v", g, v)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Fatalf("stats = %d hits / %d misses, want %d/1", hits, misses, goroutines-1)
+	}
+}

@@ -1,0 +1,247 @@
+package corpus
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// Result is one streamed match: the document it was extracted from and the
+// span tuple, aligned with the Results' variable list.
+type Result struct {
+	Doc   DocID
+	Tuple span.Tuple
+}
+
+// EvalOptions tune a corpus evaluation.
+type EvalOptions struct {
+	// Workers is the evaluation pool size; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// Buffer is the capacity of the result channel (the producer/consumer
+	// decoupling window); ≤ 0 selects 256.
+	Buffer int
+	// RequiredLiteral, when non-empty, is a byte string every matching
+	// document must contain: documents without it are skipped before the
+	// per-document graph build (the Stream prefilter, corpus-wide).
+	RequiredLiteral string
+}
+
+func (o EvalOptions) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o EvalOptions) buffer() int {
+	if o.Buffer <= 0 {
+		return 256
+	}
+	return o.Buffer
+}
+
+// DocEval evaluates one document, calling emit for every result tuple.
+// emit reports false when the evaluation is cancelled; the evaluator must
+// stop promptly (returning nil — cancellation is not an error).
+type DocEval func(doc string, emit func(span.Tuple) bool) error
+
+// Results streams (doc, tuple) results of a corpus evaluation. Consume
+// with Next until ok is false, then check Err; Close aborts early and
+// releases the worker pool. Results is safe for use by one consumer
+// goroutine.
+type Results struct {
+	vars   span.VarList
+	ch     chan Result
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+// Vars lists the output variables tuples are aligned with.
+func (r *Results) Vars() span.VarList { return r.vars }
+
+// Next returns the next result; ok is false once the stream is exhausted
+// (all shards drained, an error occurred, or the context was cancelled) —
+// distinguish the cases with Err.
+func (r *Results) Next() (Result, bool) {
+	res, ok := <-r.ch
+	return res, ok
+}
+
+// Err reports the first evaluation error, or the context's error when the
+// evaluation was cut short by cancellation. It is meaningful after Next
+// has returned ok=false. A stream abandoned via Close reports nil.
+func (r *Results) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Close aborts the evaluation and blocks until the worker pool has shut
+// down. It is safe to call Close multiple times, or after exhaustion.
+func (r *Results) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	for range r.ch {
+	}
+}
+
+func (r *Results) setErr(err error) {
+	r.mu.Lock()
+	if r.err == nil && !r.closed {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Eval evaluates the compiled automaton over every document in the store
+// (snapshotted at call time), fanning the shards out to a pool of workers.
+// Each worker owns a Reset-able clone of one shared compiled enumerator,
+// so the per-document cost is a single graph rebuild into preallocated
+// arenas — the corpus-wide analogue of Spanner.NewStream. Results stream
+// through a bounded channel in no guaranteed global order; per document
+// they arrive in the engine's deterministic radix order.
+func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (*Results, error) {
+	base, err := enum.Prepare(a, "")
+	if err != nil {
+		return nil, err
+	}
+	first := true
+	newEval := func() DocEval {
+		e := base // the first worker adopts the base enumerator's arenas
+		if !first {
+			e = base.Clone()
+		}
+		first = false
+		return func(doc string, emit func(span.Tuple) bool) error {
+			if opt.RequiredLiteral != "" && !strings.Contains(doc, opt.RequiredLiteral) {
+				return nil
+			}
+			e.Reset(doc)
+			for {
+				t, ok := e.Next()
+				if !ok {
+					return nil
+				}
+				if !emit(t) {
+					return nil
+				}
+			}
+		}
+	}
+	return s.run(ctx, base.Vars(), newEval, opt), nil
+}
+
+// EvalFunc is Eval for evaluators that cannot share a compiled enumerator
+// (per-document query plans, string-equality selections): newEval is
+// called once per worker and the returned DocEval is applied to each of
+// the worker's documents.
+func (s *Store) EvalFunc(ctx context.Context, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
+	return s.run(ctx, vars, newEval, opt)
+}
+
+// run is the shared fan-out loop: shards are dealt to workers over a
+// channel (a worker finishing a small shard immediately picks up the
+// next), every emitted tuple is tagged with its stable DocID, and both the
+// dealer and the emit path select on the derived context so cancellation
+// aborts mid-enumeration.
+func (s *Store) run(ctx context.Context, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
+	snap := s.snapshot()
+	cctx, cancel := context.WithCancel(ctx)
+	res := &Results{
+		vars:   vars,
+		ch:     make(chan Result, opt.buffer()),
+		cancel: cancel,
+	}
+
+	// Clamp the pool to the shards that actually hold documents — the
+	// dealer never hands out empty ones, so extra workers (and their
+	// enumerator clones) would be allocated to idle forever.
+	nonEmpty := 0
+	for si := range snap {
+		if len(snap[si]) > 0 {
+			nonEmpty++
+		}
+	}
+
+	shardCh := make(chan int)
+	go func() {
+		defer close(shardCh)
+		for si := range snap {
+			if len(snap[si]) == 0 {
+				continue
+			}
+			select {
+			case shardCh <- si:
+			case <-cctx.Done():
+				return
+			}
+		}
+	}()
+
+	workers := opt.workers()
+	if workers > nonEmpty {
+		workers = nonEmpty
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	done := cctx.Done()
+	// Materialize every worker's evaluator before starting any goroutine:
+	// constructors may read shared compiled state (Enumerator.Clone reads
+	// the base enumerator) that the first worker would already be mutating.
+	evals := make([]DocEval, workers)
+	for w := range evals {
+		evals[w] = newEval()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		eval := evals[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range shardCh {
+				docs := snap[si]
+				for pos, doc := range docs {
+					if cctx.Err() != nil {
+						return
+					}
+					id := s.idOf(uint64(si), uint64(pos))
+					emit := func(t span.Tuple) bool {
+						select {
+						case res.ch <- Result{Doc: id, Tuple: t}:
+							return true
+						case <-done:
+							return false
+						}
+					}
+					if err := eval(doc, emit); err != nil {
+						res.setErr(err)
+						cancel()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	go func() {
+		wg.Wait()
+		// Surface cancellation that came from the caller's context (not
+		// from Close) as the stream error.
+		if err := ctx.Err(); err != nil {
+			res.setErr(err)
+		}
+		close(res.ch)
+	}()
+	return res
+}

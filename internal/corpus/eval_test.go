@@ -1,0 +1,205 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+)
+
+func drainResults(t *testing.T, r *Results) map[DocID][]span.Tuple {
+	t.Helper()
+	out := make(map[DocID][]span.Tuple)
+	for {
+		res, ok := r.Next()
+		if !ok {
+			break
+		}
+		out[res.Doc] = append(out[res.Doc], res.Tuple)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEvalMatchesPerDocumentEnum: the sharded fan-out must produce, per
+// document, exactly the sequential enumeration — same tuples, same order.
+func TestEvalMatchesPerDocumentEnum(t *testing.T) {
+	a := rgx.MustCompilePattern(`(a|b)*x{a+}(a|b)*`)
+	s := NewStore(4)
+	docs := []string{"aba", "bb", "", "aaab", "ba", "abab", "a", "baab", "bbba"}
+	ids := make([]DocID, len(docs))
+	for i, d := range docs {
+		ids[i] = s.Add(d)
+	}
+	for _, workers := range []int{0, 1, 3, 8} {
+		res, err := s.Eval(context.Background(), a, EvalOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainResults(t, res)
+		for i, d := range docs {
+			_, want, err := enum.Eval(a, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			have := got[ids[i]]
+			if len(have) != len(want) {
+				t.Fatalf("workers=%d doc %q: %d tuples, want %d", workers, d, len(have), len(want))
+			}
+			for k := range want {
+				if have[k].Compare(want[k]) != 0 {
+					t.Fatalf("workers=%d doc %q tuple %d: %v, want %v (order must match)", workers, d, k, have[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestEvalEmptyStore(t *testing.T) {
+	a := rgx.MustCompilePattern(`x{a}`)
+	res, err := NewStore(3).Eval(context.Background(), a, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drainResults(t, res); len(got) != 0 {
+		t.Fatalf("got %d docs with results from empty store", len(got))
+	}
+}
+
+func TestEvalRequiredLiteralPrefilter(t *testing.T) {
+	a := rgx.MustCompilePattern(`(a|b|c)*x{needle}(a|b|c)*`)
+	s := NewStore(2)
+	hit := s.Add("aaneedlebb")
+	s.Add("abcabc")
+	res, err := s.Eval(context.Background(), a, EvalOptions{RequiredLiteral: "needle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainResults(t, res)
+	if len(got) != 1 || len(got[hit]) != 1 {
+		t.Fatalf("got %v, want exactly one tuple for the needle doc", got)
+	}
+}
+
+// TestEvalCancellation: cancelling the context mid-stream must terminate
+// the stream promptly and surface the context's error.
+func TestEvalCancellation(t *testing.T) {
+	a := rgx.MustCompilePattern(`a*x{a*}a*`) // quadratic result count per doc
+	s := NewStore(4)
+	big := ""
+	for i := 0; i < 200; i++ {
+		big += "a"
+	}
+	for i := 0; i < 32; i++ {
+		s.Add(big)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := s.Eval(ctx, a, EvalOptions{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := res.Next(); !ok {
+			t.Fatal("stream ended before cancellation")
+		}
+	}
+	cancel()
+	n := 0
+	for {
+		_, ok := res.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	// At most the buffered window plus one in-flight send per worker can
+	// trail the cancellation.
+	if n > 1024 {
+		t.Fatalf("%d results after cancel — cancellation not propagating", n)
+	}
+	if err := res.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEvalCloseAbandonsStream(t *testing.T) {
+	a := rgx.MustCompilePattern(`a*x{a*}a*`)
+	s := NewStore(2)
+	for i := 0; i < 8; i++ {
+		s.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	}
+	res, err := s.Eval(context.Background(), a, EvalOptions{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Next(); !ok {
+		t.Fatal("no first result")
+	}
+	res.Close()
+	res.Close() // idempotent
+	if err := res.Err(); err != nil {
+		t.Fatalf("Err after Close = %v, want nil (deliberate abandonment)", err)
+	}
+}
+
+// TestEvalFuncErrorAborts: an evaluator error must cancel the whole
+// evaluation and surface through Err.
+func TestEvalFuncErrorAborts(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 16; i++ {
+		s.Add(fmt.Sprintf("doc-%d", i))
+	}
+	boom := errors.New("doc exploded")
+	newEval := func() DocEval {
+		return func(doc string, emit func(span.Tuple) bool) error {
+			if doc == "doc-7" {
+				return boom
+			}
+			return nil
+		}
+	}
+	res := s.EvalFunc(context.Background(), span.NewVarList("x"), newEval, EvalOptions{})
+	for {
+		if _, ok := res.Next(); !ok {
+			break
+		}
+	}
+	if err := res.Err(); !errors.Is(err, boom) {
+		t.Fatalf("Err = %v, want %v", err, boom)
+	}
+}
+
+// TestEvalSeesSnapshotAtCall: documents present before Eval are always
+// included, even when Adds race with the evaluation.
+func TestEvalSeesSnapshotAtCall(t *testing.T) {
+	a := rgx.MustCompilePattern(`x{a+}`)
+	s := NewStore(4)
+	var pre []DocID
+	for i := 0; i < 20; i++ {
+		pre = append(pre, s.Add("aaa"))
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s.Add("aaa")
+		}
+	}()
+	res, err := s.Eval(context.Background(), a, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainResults(t, res)
+	<-done
+	for _, id := range pre {
+		if len(got[id]) == 0 {
+			t.Fatalf("doc %d added before Eval missing from results", id)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package corpus is the multi-document layer of the engine: an append-only
+// sharded document store, a fan-out evaluator that streams (doc, tuple)
+// results from pooled workers each owning a Reset-able enumerator clone,
+// and an LRU compiled-query cache with singleflight compilation.
+//
+// The paper's polynomial-delay guarantees (Theorem 3.3, Theorem 3.11) are
+// per document; this package supplies the layer above them — many
+// documents, many concurrent queries, shared compiled artifacts — without
+// touching the per-document complexity: every worker amortizes trimming,
+// functionality checking, closure computation and letter interning across
+// its whole share of the corpus exactly as Stream/Reset does for a single
+// caller.
+package corpus
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DocID identifies a document in a Store. IDs are stable for the lifetime
+// of the store and encode their location: id % NumShards is the shard,
+// id / NumShards the position within it, so lookup is two array indexes.
+type DocID uint64
+
+// Store is an append-only sharded document store. Adds distribute
+// round-robin over the shards, each guarded by its own lock, so concurrent
+// writers contend only 1/N of the time; readers (evaluation snapshots,
+// Get) take the shard's read lock. Documents are never mutated or removed,
+// which is what makes the snapshot discipline of Eval safe: a slice header
+// captured under the read lock stays valid forever.
+type Store struct {
+	shards []shard
+	rr     atomic.Uint64 // round-robin shard chooser
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	docs []string
+}
+
+// NewStore creates a store with the given shard count; n ≤ 0 selects
+// GOMAXPROCS.
+func NewStore(n int) *Store {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Store{shards: make([]shard, n)}
+}
+
+// NumShards reports the shard count fixed at creation.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// idOf and locate define the DocID layout in one place: shard index in
+// the low digits (mod NumShards), position within the shard above.
+func (s *Store) idOf(si, pos uint64) DocID {
+	return DocID(pos*uint64(len(s.shards)) + si)
+}
+
+func (s *Store) locate(id DocID) (si, pos uint64) {
+	n := uint64(len(s.shards))
+	return uint64(id) % n, uint64(id) / n
+}
+
+// Add appends a document and returns its stable ID. Safe for concurrent
+// use with Add, Get, Len and Eval.
+func (s *Store) Add(doc string) DocID {
+	si := s.rr.Add(1) % uint64(len(s.shards))
+	sh := &s.shards[si]
+	sh.mu.Lock()
+	pos := uint64(len(sh.docs))
+	sh.docs = append(sh.docs, doc)
+	sh.mu.Unlock()
+	return s.idOf(si, pos)
+}
+
+// Get returns the document with the given ID.
+func (s *Store) Get(id DocID) (string, bool) {
+	si, pos := s.locate(id)
+	sh := &s.shards[si]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if pos >= uint64(len(sh.docs)) {
+		return "", false
+	}
+	return sh.docs[pos], true
+}
+
+// Len reports the total number of documents.
+func (s *Store) Len() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		total += len(sh.docs)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// snapshot captures every shard's current document prefix. The captured
+// slice headers never see later appends (append-only store), so workers
+// iterate them without locks; documents added concurrently with an Eval
+// may or may not be included, but anything added before the snapshot is.
+func (s *Store) snapshot() [][]string {
+	out := make([][]string, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		out[i] = sh.docs[:len(sh.docs):len(sh.docs)]
+		sh.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStoreAddGetRoundtrip(t *testing.T) {
+	s := NewStore(4)
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	}
+	var ids []DocID
+	for i := 0; i < 37; i++ {
+		ids = append(ids, s.Add(fmt.Sprintf("doc-%d", i)))
+	}
+	if s.Len() != 37 {
+		t.Fatalf("Len = %d, want 37", s.Len())
+	}
+	for i, id := range ids {
+		doc, ok := s.Get(id)
+		if !ok || doc != fmt.Sprintf("doc-%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", id, doc, ok)
+		}
+	}
+	if _, ok := s.Get(DocID(1 << 40)); ok {
+		t.Fatal("Get of unknown ID reported ok")
+	}
+}
+
+func TestStoreDefaultsShardCount(t *testing.T) {
+	if n := NewStore(0).NumShards(); n < 1 {
+		t.Fatalf("NumShards = %d with default", n)
+	}
+}
+
+// TestStoreConcurrentAddStableIDs: IDs handed out under concurrent Adds
+// must be unique and must keep resolving to the document they were
+// assigned to.
+func TestStoreConcurrentAddStableIDs(t *testing.T) {
+	s := NewStore(8)
+	const goroutines, perG = 8, 500
+	got := make([][]DocID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				got[g] = append(got[g], s.Add(fmt.Sprintf("g%d-i%d", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[DocID]bool)
+	for g := range got {
+		for i, id := range got[g] {
+			if seen[id] {
+				t.Fatalf("duplicate DocID %d", id)
+			}
+			seen[id] = true
+			doc, ok := s.Get(id)
+			if !ok || doc != fmt.Sprintf("g%d-i%d", g, i) {
+				t.Fatalf("Get(%d) = %q, %v; want g%d-i%d", id, doc, ok, g, i)
+			}
+		}
+	}
+	if s.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", s.Len(), goroutines*perG)
+	}
+}

@@ -165,6 +165,9 @@ func TestCloneMatchesFreshPrepare(t *testing.T) {
 // TestResetAllocsSteadyState: repeated documents through one enumerator
 // should allocate almost nothing per document beyond the returned tuples.
 func TestResetAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation distorts AllocsPerRun")
+	}
 	a := rgx.MustCompilePattern(".*x{a+}.*")
 	s := randDoc(rand.New(rand.NewSource(5)), 64)
 	e, err := Prepare(a, s)

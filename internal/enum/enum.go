@@ -23,6 +23,7 @@
 package enum
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -702,6 +703,25 @@ func (e *Enumerator) All() []span.Tuple {
 		t, ok := e.Next()
 		if !ok {
 			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// AllCtx drains the enumerator like All but checks ctx every 64 tuples, so
+// huge enumerations are abortable mid-stream. On cancellation it returns
+// the tuples collected so far together with ctx's error.
+func (e *Enumerator) AllCtx(ctx context.Context) ([]span.Tuple, error) {
+	var out []span.Tuple
+	for i := 0; ; i++ {
+		if i&63 == 0 {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		t, ok := e.Next()
+		if !ok {
+			return out, nil
 		}
 		out = append(out, t)
 	}

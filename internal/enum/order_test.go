@@ -125,6 +125,75 @@ func TestPrepareIsReusableAcrossStrings(t *testing.T) {
 	}
 }
 
+// TestStreamResetOrderMatchesFreshPrepare: the corpus shard path — one
+// compiled base enumerator, per-worker Clones, Reset per document — must
+// yield exactly the sequence (tuples and order) of a fresh Prepare on
+// every document, including after the enumerator has cycled through other
+// documents and after mid-stream abandonment.
+func TestStreamResetOrderMatchesFreshPrepare(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	patterns := []string{
+		"a*x{a*}a*",
+		".*x{a+}.*y{b+}.*",
+		"(a|b)*x{(a|b)+}(a|b)*",
+	}
+	for _, p := range patterns {
+		a := rgx.MustCompilePattern(p)
+		// Documents dealt across three simulated shard workers.
+		var shards [3][]string
+		for si := range shards {
+			for d := 0; d < 4; d++ {
+				n := r.Intn(7) + 1
+				b := make([]byte, n)
+				for i := range b {
+					b[i] = byte('a' + r.Intn(2))
+				}
+				shards[si] = append(shards[si], string(b))
+			}
+		}
+		base, err := enum.Prepare(a, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers := []*enum.Enumerator{base, base.Clone(), base.Clone()}
+		for si, docs := range shards {
+			e := workers[si]
+			for di, doc := range docs {
+				e.Reset(doc)
+				var got []span.Tuple
+				for {
+					tu, ok := e.Next()
+					if !ok {
+						break
+					}
+					got = append(got, tu)
+				}
+				fresh, err := enum.Prepare(a, doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fresh.All()
+				if len(got) != len(want) {
+					t.Fatalf("[[%s]] shard %d doc %d %q: %d tuples after Reset, fresh Prepare %d",
+						p, si, di, doc, len(got), len(want))
+				}
+				for k := range want {
+					if got[k].Compare(want[k]) != 0 {
+						t.Fatalf("[[%s]] shard %d doc %d %q: order diverges at %d: %v vs %v",
+							p, si, di, doc, k, got[k], want[k])
+					}
+				}
+				// Abandon a partially drained enumeration before the next
+				// Reset: the next document must be unaffected.
+				if di%2 == 0 {
+					e.Reset(doc)
+					e.Next()
+				}
+			}
+		}
+	}
+}
+
 // TestLargeAlphabetString: bytes outside a-z, including 0x00 and 0xff.
 func TestLargeAlphabetString(t *testing.T) {
 	a := rgx.MustCompilePattern(`.*x{\x00+}.*`)

@@ -1,6 +1,7 @@
 package enum
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -20,6 +21,13 @@ import (
 // workers ≤ 0 selects GOMAXPROCS. Falls back to sequential enumeration for
 // tiny inputs.
 func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple, error) {
+	return EvalParallelCtx(context.Background(), a, s, workers)
+}
+
+// EvalParallelCtx is EvalParallel with cancellation: workers abandon
+// pending radix-tree prefixes once ctx is done, and the call returns ctx's
+// error instead of a partial result.
+func EvalParallelCtx(ctx context.Context, a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple, error) {
 	e, err := Prepare(a, s)
 	if err != nil {
 		return nil, nil, err
@@ -31,7 +39,11 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 		return e.vars, nil, nil
 	}
 	if workers == 1 || e.n == 0 {
-		return e.vars, e.All(), nil
+		ts, err := e.AllCtx(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e.vars, ts, nil
 	}
 
 	prefixes := e.splitPrefixes(16 * workers)
@@ -44,6 +56,9 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
 				results[idx] = e.enumeratePrefix(prefixes[idx], rowPool)
 			}
 		}()
@@ -53,6 +68,9 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	var out []span.Tuple
 	for _, r := range results {
@@ -70,6 +88,14 @@ func EvalParallel(a *vsa.VSA, s string, workers int) (span.VarList, []span.Tuple
 // steady-state allocation per document is near zero beyond the result
 // tuples. Results are indexed like docs. workers ≤ 0 selects GOMAXPROCS.
 func EvalAllDocs(a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span.Tuple, error) {
+	return EvalAllDocsCtx(context.Background(), a, docs, workers)
+}
+
+// EvalAllDocsCtx is EvalAllDocs with cancellation: workers check ctx
+// between documents and every 64 tuples within one (AllCtx), so the call
+// is abortable mid-enumeration even on a single pathological document. On
+// cancellation it returns ctx's error instead of a partial result.
+func EvalAllDocsCtx(ctx context.Context, a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span.Tuple, error) {
 	base, err := Prepare(a, "")
 	if err != nil {
 		return nil, nil, err
@@ -88,7 +114,9 @@ func EvalAllDocs(a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span
 		e := base
 		for i, doc := range docs {
 			e.Reset(doc)
-			results[i] = e.All()
+			if results[i], err = e.AllCtx(ctx); err != nil {
+				return nil, nil, err
+			}
 		}
 		return base.vars, results, nil
 	}
@@ -103,8 +131,11 @@ func EvalAllDocs(a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue
+				}
 				e.Reset(docs[i])
-				results[i] = e.All()
+				results[i], _ = e.AllCtx(ctx)
 			}
 		}()
 	}
@@ -113,6 +144,9 @@ func EvalAllDocs(a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	return base.vars, results, nil
 }
 

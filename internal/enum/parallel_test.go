@@ -1,6 +1,8 @@
 package enum_test
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -97,6 +99,66 @@ func TestEvalParallelRandomAutomata(t *testing.T) {
 				t.Fatalf("trial %d: order differs at %d", i, k)
 			}
 		}
+	}
+}
+
+// TestWorkerCountDefaults: zero and negative worker counts must behave as
+// GOMAXPROCS on every parallel entry point — same results as sequential,
+// no panic, no silent serialization into a wrong answer.
+func TestWorkerCountDefaults(t *testing.T) {
+	a := rgx.MustCompilePattern("(a|b)*x{a+}(a|b)*")
+	docs := []string{"aab", "bba", "abab", "", "aaaa", "b"}
+	_, want, err := enum.EvalAllDocs(a, docs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, -1, -100} {
+		_, got, err := enum.EvalAllDocs(a, docs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range docs {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d doc %d: %d tuples, want %d", workers, i, len(got[i]), len(want[i]))
+			}
+			for k := range want[i] {
+				if got[i][k].Compare(want[i][k]) != 0 {
+					t.Fatalf("workers=%d doc %d: order differs at %d", workers, i, k)
+				}
+			}
+		}
+		_, single, err := enum.EvalParallel(a, docs[0], workers)
+		if err != nil || len(single) != len(want[0]) {
+			t.Fatalf("EvalParallel workers=%d: %d tuples (err %v), want %d",
+				workers, len(single), err, len(want[0]))
+		}
+	}
+}
+
+// TestEvalAllDocsCtxCancellation: a cancelled context must abort the batch
+// and surface the context error instead of a partial result.
+func TestEvalAllDocsCtxCancellation(t *testing.T) {
+	a := rgx.MustCompilePattern("a*x{a*}a*")
+	big := make([]byte, 400)
+	for i := range big {
+		big[i] = 'a'
+	}
+	docs := make([]string, 64)
+	for i := range docs {
+		docs[i] = string(big)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := enum.EvalAllDocsCtx(ctx, a, docs, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, _, err := enum.EvalParallelCtx(ctx, a, string(big), 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalParallelCtx err = %v, want context.Canceled", err)
+	}
+	// A live context still evaluates normally through the Ctx variants.
+	_, got, err := enum.EvalAllDocsCtx(context.Background(), a, []string{"aa"}, 0)
+	if err != nil || len(got[0]) != 6 {
+		t.Fatalf("live ctx: %d tuples (err %v), want 6", len(got[0]), err)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package enum
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-count assertions are skipped under it (instrumentation
+// and the degraded sync.Pool caching distort AllocsPerRun).
+const raceEnabled = true

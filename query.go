@@ -1,10 +1,13 @@
 package spanjoin
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"spanjoin/internal/core"
 	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
 )
 
 // Strategy selects how a query is evaluated.
@@ -45,6 +48,31 @@ func WithPolyBoundVarLimit(k int) Option {
 //	π_Y ( ζ=_{x1,y1} … ζ=_{xm,ym} (α1 ⋈ … ⋈ αk) )
 type Query struct {
 	cq *core.CQ
+
+	// Document-independent compilation artifacts, memoized per Query (a
+	// built Query is immutable): the full automata-plan compilation
+	// (equality-free queries) and the bare atom join (the hoistable prefix
+	// of the plan when equalities must still compile per document).
+	compileOnce sync.Once
+	compiled    *vsa.VSA
+	compileErr  error
+	joinOnce    sync.Once
+	joined      *vsa.VSA
+	joinErr     error
+}
+
+// compiledAutomaton memoizes CQ.Compile: joins plus pushed-in projection
+// (valid only for equality-free queries).
+func (q *Query) compiledAutomaton() (*vsa.VSA, error) {
+	q.compileOnce.Do(func() { q.compiled, q.compileErr = q.cq.Compile() })
+	return q.compiled, q.compileErr
+}
+
+// joinedAtoms memoizes CQ.JoinAtoms: the document-independent join prefix
+// of the automata plan.
+func (q *Query) joinedAtoms() (*vsa.VSA, error) {
+	q.joinOnce.Do(func() { q.joined, q.joinErr = q.cq.JoinAtoms() })
+	return q.joined, q.joinErr
 }
 
 // QueryBuilder assembles a Query; errors accumulate and surface at Build.
@@ -168,6 +196,20 @@ func (q *Query) Iterate(doc string, opts ...Option) (*Matches, error) {
 		return nil, err
 	}
 	return &Matches{it: it, vars: it.Vars(), doc: doc}, nil
+}
+
+// IterateCtx is Iterate with cancellation: the returned iterator checks
+// ctx periodically and stops once it is done. After Next returns ok=false,
+// a cancelled iteration is indistinguishable from exhaustion here; use
+// Corpus.EvalQuery when the distinction matters (its stream reports Err).
+func (q *Query) IterateCtx(ctx context.Context, doc string, opts ...Option) (*Matches, error) {
+	o := buildOptions(opts)
+	it, err := q.cq.Enumerate(doc, o)
+	if err != nil {
+		return nil, err
+	}
+	cit := core.WithContext(ctx, it)
+	return &Matches{it: cit, vars: cit.Vars(), doc: doc}, nil
 }
 
 // Exists decides Boolean satisfaction: whether the query has at least one

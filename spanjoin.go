@@ -33,6 +33,7 @@
 package spanjoin
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -213,6 +214,29 @@ func (st *Stream) Eval(doc string) ([]Match, error) {
 	}
 }
 
+// EvalCtx is Eval with cancellation: the drain checks ctx periodically
+// (core.CtxIterator) and returns its error once cancelled, so a
+// pathological document cannot wedge the stream's caller.
+func (st *Stream) EvalCtx(ctx context.Context, doc string) ([]Match, error) {
+	ms, err := st.Iterate(doc)
+	if err != nil {
+		return nil, err
+	}
+	cit := core.WithContext(ctx, ms.it)
+	ms.it = cit
+	var out []Match
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			if err := cit.Err(); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		out = append(out, m)
+	}
+}
+
 // Iterate enumerates matches on doc with polynomial delay. The returned
 // Matches borrows the stream's enumerator: drain (or abandon) it before the
 // next Iterate or Eval call on the same stream.
@@ -260,7 +284,14 @@ func (s *Spanner) EvalAll(docs []string) ([][]Match, error) {
 // reusable enumerator over the shared compiled automaton. Results keep the
 // order of docs; workers ≤ 0 selects GOMAXPROCS.
 func (s *Spanner) EvalAllParallel(docs []string, workers int) ([][]Match, error) {
-	vars, tuples, err := enum.EvalAllDocs(s.auto, docs, workers)
+	return s.EvalAllParallelCtx(context.Background(), docs, workers)
+}
+
+// EvalAllParallelCtx is EvalAllParallel with cancellation: workers check
+// ctx between documents and periodically within each enumeration, so the
+// call aborts mid-stream and returns ctx's error.
+func (s *Spanner) EvalAllParallelCtx(ctx context.Context, docs []string, workers int) ([][]Match, error) {
+	vars, tuples, err := enum.EvalAllDocsCtx(ctx, s.auto, docs, workers)
 	if err != nil {
 		return nil, err
 	}
