@@ -36,6 +36,7 @@ type corpusConfig struct {
 	cacheCap int
 	workers  int
 	buffer   int
+	indexed  bool
 }
 
 // CorpusOption configures a Corpus at creation.
@@ -65,14 +66,28 @@ func WithResultBuffer(n int) CorpusOption {
 	return func(c *corpusConfig) { c.buffer = n }
 }
 
+// WithIndex enables the per-shard skip index: each Add also records the
+// document's byte bigrams and trigrams in posting lists (O(distinct grams)
+// ≤ 2·|doc| positions per document), and evaluations whose pattern or
+// query carries literal requirements intersect those postings to visit
+// only candidate documents — non-candidates cost nothing, not even a
+// substring scan. Queries without derivable literals are unaffected.
+func WithIndex() CorpusOption {
+	return func(c *corpusConfig) { c.indexed = true }
+}
+
 // NewCorpus creates an empty corpus.
 func NewCorpus(opts ...CorpusOption) *Corpus {
 	var cfg corpusConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
+	store := corpus.NewStore(cfg.shards)
+	if cfg.indexed {
+		store.EnableIndex()
+	}
 	return &Corpus{
-		store:   corpus.NewStore(cfg.shards),
+		store:   store,
 		cache:   corpus.NewCache(cfg.cacheCap),
 		workers: cfg.workers,
 		buffer:  cfg.buffer,
@@ -96,6 +111,9 @@ func (c *Corpus) Doc(id DocID) (string, bool) { return c.store.Get(id) }
 
 // Len reports the number of documents.
 func (c *Corpus) Len() int { return c.store.Len() }
+
+// Indexed reports whether the skip index is enabled (WithIndex).
+func (c *Corpus) Indexed() bool { return c.store.Indexed() }
 
 // NumShards reports the shard count.
 func (c *Corpus) NumShards() int { return c.store.NumShards() }
@@ -170,6 +188,35 @@ func (m *CorpusMatches) Vars() []string { return append([]string(nil), m.vars...
 // cancellation; nil after normal exhaustion or Close.
 func (m *CorpusMatches) Err() error { return m.res.Err() }
 
+// EvalStats is a snapshot of a corpus evaluation's prefilter counters.
+type EvalStats struct {
+	// Scanned counts documents the engine actually evaluated.
+	Scanned uint64
+	// Skipped counts documents the prefilter excluded: skip-index
+	// non-candidates plus documents failing the literal requirement scan.
+	// Scanned+Skipped equals the snapshot size once the stream drains.
+	Skipped uint64
+	// SkippedIndex is the subset of Skipped the skip index excluded
+	// outright — never visited, not even for a substring scan. Zero
+	// without WithIndex.
+	SkippedIndex uint64
+}
+
+// Visited counts the documents the evaluation touched at all: scanned
+// plus those rejected by the literal scan (the skip index's candidate
+// set, when the index is on).
+func (s EvalStats) Visited() uint64 { return s.Scanned + s.Skipped - s.SkippedIndex }
+
+// Stats reports how many documents the evaluation scanned and skipped so
+// far; final after Next has returned ok=false.
+func (m *CorpusMatches) Stats() EvalStats {
+	return EvalStats{
+		Scanned:      m.res.Scanned(),
+		Skipped:      m.res.Skipped(),
+		SkippedIndex: m.res.SkippedIndex(),
+	}
+}
+
 // Close aborts the evaluation and releases its worker pool. Safe to call
 // multiple times or after exhaustion.
 func (m *CorpusMatches) Close() { m.res.Close() }
@@ -214,9 +261,9 @@ func (c *Corpus) compileCached(mode, pattern string, compile func(string) (*Span
 // skips non-matching documents before any per-document work.
 func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner) (*CorpusMatches, error) {
 	res, err := c.store.Eval(ctx, sp.auto, corpus.EvalOptions{
-		Workers:         c.workers,
-		Buffer:          c.buffer,
-		RequiredLiteral: sp.required,
+		Workers:  c.workers,
+		Buffer:   c.buffer,
+		Required: sp.req,
 	})
 	if err != nil {
 		return nil, err
@@ -232,6 +279,11 @@ func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner) (*CorpusMatches, 
 // document with the chosen plan.
 func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*CorpusMatches, error) {
 	o := buildOptions(opts)
+	// The plan-level requirement (conjunction of the atoms' literal
+	// requirements) prefilters every evaluation path, exactly like
+	// EvalSpanner: equalities and projection only restrict results
+	// further, so the requirement stays necessary under every strategy.
+	req := q.requirement()
 	forcedCanonical := o.Strategy == core.Canonical
 	if len(q.cq.Equalities) == 0 && !forcedCanonical {
 		// Equality-free fast path: the whole plan (join + projection) is
@@ -241,7 +293,7 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.store.Eval(ctx, auto, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer})
+		res, err := c.store.Eval(ctx, auto, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +329,7 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 			}
 		}
 	}
-	res := c.store.EvalFunc(ctx, vars, newEval, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer})
+	res := c.store.EvalFunc(ctx, vars, newEval, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
 	return &CorpusMatches{res: res, store: c.store, vars: vars}, nil
 }
 

@@ -100,6 +100,41 @@ func FuzzCorpusVsEval(f *testing.F) {
 			t.Fatal(err)
 		}
 
+		// The skip index must be invisible in the results: same tuples per
+		// document, same per-document order.
+		ci := spanjoin.NewCorpus(spanjoin.WithShards(3), spanjoin.WithWorkers(2), spanjoin.WithIndex())
+		idsIdx := ci.AddAll(docs...)
+		msIdx, err := ci.Eval(context.Background(), pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotIdx := make(map[spanjoin.DocID][]span.Tuple)
+		for {
+			m, ok := msIdx.Next()
+			if !ok {
+				break
+			}
+			gotIdx[m.Doc] = append(gotIdx[m.Doc], tupleOf(m.Match))
+		}
+		if err := msIdx.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range docs {
+			a, b := got[ids[i]], gotIdx[idsIdx[i]]
+			if len(a) != len(b) {
+				t.Fatalf("pattern %q doc %q: unindexed %v, indexed %v", pattern, docs[i], a, b)
+			}
+			for k := range a {
+				if a[k].Compare(b[k]) != 0 {
+					t.Fatalf("pattern %q doc %q: index changed tuple %d: %v vs %v", pattern, docs[i], k, a[k], b[k])
+				}
+			}
+		}
+		st := msIdx.Stats()
+		if st.Scanned+st.Skipped != uint64(len(docs)) {
+			t.Fatalf("pattern %q: indexed stats %+v don't cover %d docs", pattern, st, len(docs))
+		}
+
 		for i, doc := range docs {
 			ref, err := sp.Eval(doc)
 			if err != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"spanjoin/internal/alphabet"
+	"spanjoin/internal/prefilter"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
@@ -28,7 +29,7 @@ func CompileSearch(pattern string) (*Spanner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Spanner{auto: a, required: rgx.RequiredLiteral(f.Root)}, nil
+	return &Spanner{auto: a, req: prefilter.New(rgx.RequiredLiterals(f.Root)...)}, nil
 }
 
 // MustCompileSearch is CompileSearch for statically known patterns.

@@ -347,3 +347,37 @@ func TestUCQStaticCompileAgreesWithEnumerate(t *testing.T) {
 		}
 	}
 }
+
+func TestCQRequirement(t *testing.T) {
+	mustAtom := func(name, pattern string) *core.Atom {
+		a, err := core.NewAtom(name, pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	q := &core.CQ{Atoms: []*core.Atom{
+		mustAtom("a", `.*x{ERROR}.*`),
+		mustAtom("b", `.*y{disk}.*`),
+	}}
+	req := q.Requirement()
+	if !req.Match("ERROR on disk") || req.Match("ERROR alone") || req.Match("disk alone") {
+		t.Fatalf("CQ requirement = %v, want conjunction of both atoms", req)
+	}
+
+	// UCQ: only factors every disjunct implies survive.
+	q2 := &core.CQ{Atoms: []*core.Atom{mustAtom("c", `.*x{ERRORS}.*`)}}
+	u := &core.UCQ{Disjuncts: []*core.CQ{q, q2}}
+	ureq := u.Requirement()
+	if !ureq.Match("ERROR") {
+		t.Fatalf("UCQ requirement = %v, want only the common factor ERROR", ureq)
+	}
+	if ureq.Match("nothing shared") {
+		t.Fatalf("UCQ requirement = %v must still demand ERROR", ureq)
+	}
+	// A disjunct without factors washes out the union.
+	free := &core.UCQ{Disjuncts: []*core.CQ{q, {Atoms: []*core.Atom{mustAtom("d", `x{.*}`)}}}}
+	if req := free.Requirement(); !req.IsEmpty() {
+		t.Fatalf("UCQ with a free disjunct requires %v, want nothing", req)
+	}
+}

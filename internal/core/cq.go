@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"spanjoin/internal/enum"
+	"spanjoin/internal/prefilter"
 	"spanjoin/internal/rel"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/span"
@@ -32,6 +33,9 @@ type Atom struct {
 	Formula *rgx.Formula
 	// Auto is the compiled functional vset-automaton.
 	Auto *vsa.VSA
+	// Req is the atom's literal requirement, derived from the formula at
+	// compile time (empty for atoms built from bare automata).
+	Req prefilter.Requirement
 }
 
 // NewAtom parses and compiles a pattern into an atom. The pattern must be a
@@ -45,7 +49,7 @@ func NewAtom(name, pattern string) (*Atom, error) {
 	if err != nil {
 		return nil, fmt.Errorf("atom %s: %w", name, err)
 	}
-	return &Atom{Name: name, Formula: f, Auto: a}, nil
+	return &Atom{Name: name, Formula: f, Auto: a, Req: prefilter.New(rgx.RequiredLiterals(f.Root)...)}, nil
 }
 
 // AtomFromVSA wraps a prebuilt functional vset-automaton as an atom.
@@ -85,6 +89,19 @@ func (q *CQ) OutVars() span.VarList {
 		return q.AllVars().Intersect(q.Projection)
 	}
 	return q.AllVars()
+}
+
+// Requirement derives the plan-level literal requirement of the CQ: a
+// result tuple joins every atom, so a document must satisfy every atom's
+// requirement. Equality selections and the projection only restrict the
+// result further — they never weaken the necessity — so the conjunction is
+// sound for any evaluation strategy.
+func (q *CQ) Requirement() prefilter.Requirement {
+	var req prefilter.Requirement
+	for _, a := range q.Atoms {
+		req = req.And(a.Req)
+	}
+	return req
 }
 
 // Validate checks well-formedness: at least one atom, projection and
@@ -150,6 +167,16 @@ func (u *UCQ) OutVars() span.VarList {
 		return nil
 	}
 	return u.Disjuncts[0].OutVars()
+}
+
+// Requirement derives the UCQ's literal requirement: a result comes from
+// some disjunct, so only factors every disjunct requires stay necessary.
+func (u *UCQ) Requirement() prefilter.Requirement {
+	reqs := make([]prefilter.Requirement, len(u.Disjuncts))
+	for i, q := range u.Disjuncts {
+		reqs[i] = q.Requirement()
+	}
+	return prefilter.Or(reqs...)
 }
 
 // Validate checks every disjunct and the common-schema requirement.

@@ -3,10 +3,11 @@ package corpus
 import (
 	"context"
 	"runtime"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"spanjoin/internal/enum"
+	"spanjoin/internal/prefilter"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
 )
@@ -25,10 +26,12 @@ type EvalOptions struct {
 	// Buffer is the capacity of the result channel (the producer/consumer
 	// decoupling window); ≤ 0 selects 256.
 	Buffer int
-	// RequiredLiteral, when non-empty, is a byte string every matching
-	// document must contain: documents without it are skipped before the
-	// per-document graph build (the Stream prefilter, corpus-wide).
-	RequiredLiteral string
+	// Required is the query's literal requirement: documents that fail it
+	// are skipped before any per-document work. When the store's skip
+	// index is enabled, the requirement is additionally intersected
+	// against the n-gram postings so non-candidates are never visited at
+	// all — not even for a substring scan.
+	Required prefilter.Requirement
 }
 
 func (o EvalOptions) workers() int {
@@ -59,6 +62,15 @@ type Results struct {
 	ch     chan Result
 	cancel context.CancelFunc
 
+	// scanned counts documents the evaluator actually ran on; skipped
+	// counts documents excluded by the prefilter (skip-index candidate
+	// selection or the literal scan). They sum to the snapshot size once
+	// the stream drains without cancellation. skippedIndex is the subset
+	// of skipped that the index excluded without even a substring scan.
+	scanned      atomic.Uint64
+	skipped      atomic.Uint64
+	skippedIndex atomic.Uint64
+
 	mu     sync.Mutex
 	err    error
 	closed bool
@@ -66,6 +78,17 @@ type Results struct {
 
 // Vars lists the output variables tuples are aligned with.
 func (r *Results) Vars() span.VarList { return r.vars }
+
+// Scanned reports how many documents the evaluator has run on so far.
+func (r *Results) Scanned() uint64 { return r.scanned.Load() }
+
+// Skipped reports how many documents the prefilter has excluded so far
+// (index non-candidates plus documents failing the literal scan).
+func (r *Results) Skipped() uint64 { return r.skipped.Load() }
+
+// SkippedIndex reports the subset of Skipped the skip index excluded
+// outright — documents never visited, not even for a substring scan.
+func (r *Results) SkippedIndex() uint64 { return r.skippedIndex.Load() }
 
 // Next returns the next result; ok is false once the stream is exhausted
 // (all shards drained, an error occurred, or the context was cancelled) —
@@ -103,6 +126,14 @@ func (r *Results) setErr(err error) {
 	r.mu.Unlock()
 }
 
+// exhausted returns an already-drained Results — the empty-corpus fast
+// path, costing neither an enum.Prepare nor a worker goroutine.
+func exhausted(vars span.VarList) *Results {
+	r := &Results{vars: vars, ch: make(chan Result), cancel: func() {}}
+	close(r.ch)
+	return r
+}
+
 // Eval evaluates the compiled automaton over every document in the store
 // (snapshotted at call time), fanning the shards out to a pool of workers.
 // Each worker owns a Reset-able clone of one shared compiled enumerator,
@@ -111,6 +142,15 @@ func (r *Results) setErr(err error) {
 // through a bounded channel in no guaranteed global order; per document
 // they arrive in the engine's deterministic radix order.
 func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (*Results, error) {
+	shards := s.plan(opt.Required)
+	total := 0
+	for i := range shards {
+		total += len(shards[i].docs)
+	}
+	if total == 0 {
+		// Empty snapshot: nothing to prepare, no pool to spin up.
+		return exhausted(a.Vars), nil
+	}
 	base, err := enum.Prepare(a, "")
 	if err != nil {
 		return nil, err
@@ -123,9 +163,6 @@ func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (*Results
 		}
 		first = false
 		return func(doc string, emit func(span.Tuple) bool) error {
-			if opt.RequiredLiteral != "" && !strings.Contains(doc, opt.RequiredLiteral) {
-				return nil
-			}
 			e.Reset(doc)
 			for {
 				t, ok := e.Next()
@@ -138,24 +175,27 @@ func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (*Results
 			}
 		}
 	}
-	return s.run(ctx, base.Vars(), newEval, opt), nil
+	return s.run(ctx, shards, base.Vars(), newEval, opt), nil
 }
 
 // EvalFunc is Eval for evaluators that cannot share a compiled enumerator
 // (per-document query plans, string-equality selections): newEval is
 // called once per worker and the returned DocEval is applied to each of
-// the worker's documents.
+// the worker's documents. Like Eval, it honors opt.Required — candidate
+// selection and the literal prefilter run before the evaluator sees a
+// document.
 func (s *Store) EvalFunc(ctx context.Context, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
-	return s.run(ctx, vars, newEval, opt)
+	return s.run(ctx, s.plan(opt.Required), vars, newEval, opt)
 }
 
 // run is the shared fan-out loop: shards are dealt to workers over a
 // channel (a worker finishing a small shard immediately picks up the
 // next), every emitted tuple is tagged with its stable DocID, and both the
 // dealer and the emit path select on the derived context so cancellation
-// aborts mid-enumeration.
-func (s *Store) run(ctx context.Context, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
-	snap := s.snapshot()
+// aborts mid-enumeration. Shards planned with skip-index candidates visit
+// only those positions; documents failing the literal requirement are
+// counted skipped and never reach the evaluator.
+func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
 	cctx, cancel := context.WithCancel(ctx)
 	res := &Results{
 		vars:   vars,
@@ -163,21 +203,38 @@ func (s *Store) run(ctx context.Context, vars span.VarList, newEval func() DocEv
 		cancel: cancel,
 	}
 
-	// Clamp the pool to the shards that actually hold documents — the
-	// dealer never hands out empty ones, so extra workers (and their
-	// enumerator clones) would be allocated to idle forever.
-	nonEmpty := 0
-	for si := range snap {
-		if len(snap[si]) > 0 {
-			nonEmpty++
+	// Index-skipped documents are known up front: everything outside a
+	// constrained shard's candidate list.
+	for i := range shards {
+		if shards[i].constrained {
+			n := uint64(len(shards[i].docs) - len(shards[i].cand))
+			res.skipped.Add(n)
+			res.skippedIndex.Add(n)
 		}
+	}
+
+	// Clamp the pool to the shards with work — the dealer never hands out
+	// empty ones, so extra workers (and their enumerator clones) would be
+	// allocated to idle forever.
+	busy := 0
+	for i := range shards {
+		if shards[i].work() > 0 {
+			busy++
+		}
+	}
+	if busy == 0 {
+		// Nothing to visit (empty snapshot, or the index excluded every
+		// document): no pool, no dealer — the stream is born exhausted.
+		cancel() // release the derived context's registration on ctx
+		close(res.ch)
+		return res
 	}
 
 	shardCh := make(chan int)
 	go func() {
 		defer close(shardCh)
-		for si := range snap {
-			if len(snap[si]) == 0 {
+		for si := range shards {
+			if shards[si].work() == 0 {
 				continue
 			}
 			select {
@@ -189,8 +246,8 @@ func (s *Store) run(ctx context.Context, vars span.VarList, newEval func() DocEv
 	}()
 
 	workers := opt.workers()
-	if workers > nonEmpty {
-		workers = nonEmpty
+	if workers > busy {
+		workers = busy
 	}
 	if workers < 1 {
 		workers = 1
@@ -210,11 +267,25 @@ func (s *Store) run(ctx context.Context, vars span.VarList, newEval func() DocEv
 		go func() {
 			defer wg.Done()
 			for si := range shardCh {
-				docs := snap[si]
-				for pos, doc := range docs {
+				es := &shards[si]
+				n := es.work()
+				for k := 0; k < n; k++ {
+					pos := k
+					if es.constrained {
+						pos = int(es.cand[k])
+					}
 					if cctx.Err() != nil {
 						return
 					}
+					doc := es.docs[pos]
+					if !opt.Required.IsEmpty() && !opt.Required.Match(doc) {
+						// Candidate selection over-approximates (n-gram
+						// false positives) or the index is off: the literal
+						// scan is the exact filter.
+						res.skipped.Add(1)
+						continue
+					}
+					res.scanned.Add(1)
 					id := s.idOf(uint64(si), uint64(pos))
 					emit := func(t span.Tuple) bool {
 						select {
@@ -241,6 +312,10 @@ func (s *Store) run(ctx context.Context, vars span.VarList, newEval func() DocEv
 		if err := ctx.Err(); err != nil {
 			res.setErr(err)
 		}
+		// The pool is gone: release the derived context's registration on
+		// ctx so streams drained without Close don't leak it (Close's own
+		// cancel stays idempotent).
+		cancel()
 		close(res.ch)
 	}()
 	return res

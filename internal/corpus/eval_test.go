@@ -7,8 +7,10 @@ import (
 	"testing"
 
 	"spanjoin/internal/enum"
+	"spanjoin/internal/prefilter"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
 )
 
 func drainResults(t *testing.T, r *Results) map[DocID][]span.Tuple {
@@ -77,7 +79,7 @@ func TestEvalRequiredLiteralPrefilter(t *testing.T) {
 	s := NewStore(2)
 	hit := s.Add("aaneedlebb")
 	s.Add("abcabc")
-	res, err := s.Eval(context.Background(), a, EvalOptions{RequiredLiteral: "needle"})
+	res, err := s.Eval(context.Background(), a, EvalOptions{Required: prefilter.New("needle")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,5 +203,98 @@ func TestEvalSeesSnapshotAtCall(t *testing.T) {
 		if len(got[id]) == 0 {
 			t.Fatalf("doc %d added before Eval missing from results", id)
 		}
+	}
+}
+
+// TestEvalEmptyStoreSkipsPrepare: an empty snapshot must return an
+// exhausted stream without paying enum.Prepare or spawning a worker. The
+// automaton is deliberately non-functional — Prepare would error — so a
+// nil error proves the early return.
+func TestEvalEmptyStoreSkipsPrepare(t *testing.T) {
+	bad := vsa.New(span.NewVarList("x"))
+	bad.AddOpen(bad.Init, 0, bad.Final) // x opens, never closes
+	if _, err := enum.Prepare(bad, ""); err == nil {
+		t.Fatal("test automaton unexpectedly functional")
+	}
+	res, err := NewStore(3).Eval(context.Background(), bad, EvalOptions{})
+	if err != nil {
+		t.Fatalf("empty store must not reach Prepare, got %v", err)
+	}
+	if _, ok := res.Next(); ok {
+		t.Fatal("empty store produced a result")
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res.Close() // must be safe on the exhausted fast path
+	if res.Scanned() != 0 || res.Skipped() != 0 {
+		t.Fatalf("stats = %d/%d, want 0/0", res.Scanned(), res.Skipped())
+	}
+}
+
+// TestEvalIndexedCandidates: with the skip index on, non-candidate
+// documents are skipped without a scan, results match the unindexed run,
+// and the stats account for every snapshot document.
+func TestEvalIndexedCandidates(t *testing.T) {
+	a := rgx.MustCompilePattern(`(a|b|c|n|e|d|l)*x{needle}(a|b|c|n|e|d|l)*`)
+	req := prefilter.New("needle")
+	docs := []string{"aaneedlebb", "abcabc", "cc", "needle", "nee", "dle", "abcneedle"}
+	for _, indexed := range []bool{false, true} {
+		s := NewStore(2)
+		if indexed {
+			s.EnableIndex()
+			if !s.Indexed() {
+				t.Fatal("Indexed() = false after EnableIndex")
+			}
+		}
+		ids := make([]DocID, len(docs))
+		for i, d := range docs {
+			ids[i] = s.Add(d)
+		}
+		res, err := s.Eval(context.Background(), a, EvalOptions{Required: req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainResults(t, res)
+		for i, d := range docs {
+			_, want, err := enum.Eval(a, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got[ids[i]]) != len(want) {
+				t.Fatalf("indexed=%v doc %q: %d tuples, want %d", indexed, d, len(got[ids[i]]), len(want))
+			}
+		}
+		if n := res.Scanned() + res.Skipped(); n != uint64(len(docs)) {
+			t.Fatalf("indexed=%v: scanned+skipped = %d, want %d", indexed, n, len(docs))
+		}
+		if res.Scanned() != 3 { // exactly the three docs containing "needle"
+			t.Fatalf("indexed=%v: scanned = %d, want 3", indexed, res.Scanned())
+		}
+	}
+}
+
+// TestEvalIndexBackfill: EnableIndex after Adds must index the existing
+// documents (and stay idempotent).
+func TestEvalIndexBackfill(t *testing.T) {
+	a := rgx.MustCompilePattern(`(s|i|g|n|a|l| )*x{signal}(s|i|g|n|a|l| )*`)
+	s := NewStore(4)
+	hit := s.Add("a signal in noise"[3:]) // "ignal in noise" — no match
+	_ = hit
+	want := s.Add("signal signal")
+	s.Add("nothing")
+	s.EnableIndex()
+	s.EnableIndex() // idempotent
+	s.Add("late signal")
+	res, err := s.Eval(context.Background(), a, EvalOptions{Required: prefilter.New("signal")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainResults(t, res)
+	if len(got[want]) == 0 {
+		t.Fatal("backfilled document lost its matches")
+	}
+	if res.Skipped() == 0 {
+		t.Fatal("index skipped nothing")
 	}
 }

@@ -1,7 +1,8 @@
 // Package corpus is the multi-document layer of the engine: an append-only
-// sharded document store, a fan-out evaluator that streams (doc, tuple)
-// results from pooled workers each owning a Reset-able enumerator clone,
-// and an LRU compiled-query cache with singleflight compilation.
+// sharded document store with an optional n-gram skip index, a fan-out
+// evaluator that streams (doc, tuple) results from pooled workers each
+// owning a Reset-able enumerator clone, and an LRU compiled-query cache
+// with singleflight compilation.
 //
 // The paper's polynomial-delay guarantees (Theorem 3.3, Theorem 3.11) are
 // per document; this package supplies the layer above them — many
@@ -9,13 +10,17 @@
 // touching the per-document complexity: every worker amortizes trimming,
 // functionality checking, closure computation and letter interning across
 // its whole share of the corpus exactly as Stream/Reset does for a single
-// caller.
+// caller. The skip index goes one step further: queries with literal
+// requirements visit only candidate documents instead of paying even a
+// substring scan on the rest.
 package corpus
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"spanjoin/internal/prefilter"
 )
 
 // DocID identifies a document in a Store. IDs are stable for the lifetime
@@ -37,6 +42,9 @@ type Store struct {
 type shard struct {
 	mu   sync.RWMutex
 	docs []string
+	// idx shadows docs position-by-position when the skip index is
+	// enabled; nil otherwise. Guarded by mu like docs.
+	idx *prefilter.Index
 }
 
 // NewStore creates a store with the given shard count; n ≤ 0 selects
@@ -50,6 +58,31 @@ func NewStore(n int) *Store {
 
 // NumShards reports the shard count fixed at creation.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// EnableIndex turns on the per-shard skip index, backfilling documents
+// already stored. Idempotent and safe for concurrent use with Add, Get and
+// Eval; evaluations started before the call simply do not use the index.
+func (s *Store) EnableIndex() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.idx == nil {
+			sh.idx = prefilter.NewIndex()
+			for _, d := range sh.docs {
+				sh.idx.Add(d)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Indexed reports whether the skip index is enabled.
+func (s *Store) Indexed() bool {
+	sh := &s.shards[0]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.idx != nil
+}
 
 // idOf and locate define the DocID layout in one place: shard index in
 // the low digits (mod NumShards), position within the shard above.
@@ -70,6 +103,9 @@ func (s *Store) Add(doc string) DocID {
 	sh.mu.Lock()
 	pos := uint64(len(sh.docs))
 	sh.docs = append(sh.docs, doc)
+	if sh.idx != nil {
+		sh.idx.Add(doc)
+	}
 	sh.mu.Unlock()
 	return s.idOf(si, pos)
 }
@@ -98,17 +134,40 @@ func (s *Store) Len() int {
 	return total
 }
 
-// snapshot captures every shard's current document prefix. The captured
-// slice headers never see later appends (append-only store), so workers
-// iterate them without locks; documents added concurrently with an Eval
-// may or may not be included, but anything added before the snapshot is.
-func (s *Store) snapshot() [][]string {
-	out := make([][]string, len(s.shards))
+// evalShard is one shard's slice of an evaluation plan: the snapshotted
+// documents plus, when the skip index constrained the requirement, the
+// sorted candidate positions (constrained=false means every position).
+type evalShard struct {
+	docs        []string
+	cand        []uint32
+	constrained bool
+}
+
+// plan captures every shard's current document prefix plus its skip-index
+// candidates for the requirement. The captured slice headers never see
+// later appends (append-only store), so workers iterate them without
+// locks; documents added concurrently with an Eval may or may not be
+// included, but anything added before the plan is. Candidate positions are
+// consistent with the snapshot: both are read under one shard read lock.
+func (s *Store) plan(req prefilter.Requirement) []evalShard {
+	out := make([]evalShard, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		out[i] = sh.docs[:len(sh.docs):len(sh.docs)]
+		es := evalShard{docs: sh.docs[:len(sh.docs):len(sh.docs)]}
+		if sh.idx != nil && !req.IsEmpty() {
+			es.cand, es.constrained = sh.idx.Candidates(req)
+		}
 		sh.mu.RUnlock()
+		out[i] = es
 	}
 	return out
+}
+
+// work reports how many documents the shard's plan will visit.
+func (es evalShard) work() int {
+	if es.constrained {
+		return len(es.cand)
+	}
+	return len(es.docs)
 }

@@ -1,0 +1,78 @@
+package prefilter_test
+
+import (
+	"strings"
+	"testing"
+
+	"spanjoin/internal/prefilter"
+)
+
+// FuzzIndexCandidates is the skip index's differential harness: for random
+// document sets and factor conjunctions, index-selected candidates verified
+// with Requirement.Match must equal the brute-force substring scan — any
+// missed posting, broken intersection or bad gram key shows up as a lost or
+// phantom document.
+func FuzzIndexCandidates(f *testing.F) {
+	f.Add("aab|ba|abab", "ab")
+	f.Add("needle in|hay|the needle", "needle")
+	f.Add("x|y|z", "")
+	f.Add("alpha beta|alpha|beta", "alpha\xffbeta")
+	f.Add("aaa|aa|a||aaaa", "aa\xffaaa")
+	f.Fuzz(func(t *testing.T, blob, litBlob string) {
+		docs := strings.Split(blob, "|")
+		if len(docs) > 16 {
+			docs = docs[:16]
+		}
+		var lits []string
+		for _, l := range strings.Split(litBlob, "\xff") {
+			if len(l) > 12 {
+				l = l[:12]
+			}
+			lits = append(lits, l)
+		}
+		if len(lits) > 4 {
+			lits = lits[:4]
+		}
+		req := prefilter.New(lits...)
+
+		ix := prefilter.NewIndex()
+		for _, d := range docs {
+			ix.Add(d)
+		}
+		if ix.Len() != len(docs) {
+			t.Fatalf("Len = %d, want %d", ix.Len(), len(docs))
+		}
+		pos, constrained := ix.Candidates(req)
+		cand := make(map[int]bool)
+		if constrained {
+			prev := -1
+			for _, p := range pos {
+				if int(p) <= prev {
+					t.Fatalf("candidates not strictly sorted: %v", pos)
+				}
+				prev = int(p)
+				cand[int(p)] = true
+			}
+		} else {
+			for i := range docs {
+				cand[i] = true
+			}
+		}
+		for i, d := range docs {
+			want := true
+			for _, l := range req.Literals() {
+				if !strings.Contains(d, l) {
+					want = false
+					break
+				}
+			}
+			if want && !cand[i] {
+				t.Fatalf("doc %d %q satisfies %v but was skipped", i, d, req)
+			}
+			got := cand[i] && req.Match(d)
+			if got != want {
+				t.Fatalf("doc %d %q: verified=%v, brute force=%v (req %v)", i, d, got, want, req)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package prefilter
+
+// Index is an incremental byte n-gram posting index over an append-only
+// sequence of documents: position p is the p-th Add. For every document it
+// records the set of distinct byte trigrams and bigrams; Candidates
+// intersects a requirement's gram postings to produce a superset of the
+// documents that can contain every factor, so a corpus evaluation visits
+// only candidates instead of substring-scanning everything.
+//
+// Postings hold each document position at most once per gram, so the memory
+// cost is O(distinct grams per document) ≤ 2·|doc| uint32s in the worst
+// case (natural text is far below: repeated grams collapse).
+//
+// An Index is not safe for concurrent use on its own; the owning store
+// serializes access (the shard lock in internal/corpus).
+type Index struct {
+	post map[uint32][]uint32
+	n    uint32
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{post: make(map[uint32][]uint32)}
+}
+
+// Gram keys: trigrams occupy the low 24 bits; bigrams are tagged into a
+// disjoint namespace so both fit one map.
+const bigramTag = 1 << 24
+
+func triKey(b0, b1, b2 byte) uint32 {
+	return uint32(b0)<<16 | uint32(b1)<<8 | uint32(b2)
+}
+
+func biKey(b0, b1 byte) uint32 {
+	return bigramTag | uint32(b0)<<8 | uint32(b1)
+}
+
+// Add appends the next document. Positions are assigned in call order,
+// matching the append-only store the index shadows.
+func (ix *Index) Add(doc string) {
+	pos := ix.n
+	ix.n++
+	record := func(k uint32) {
+		// Positions are assigned monotonically, so a gram already recorded
+		// for this document has the posting list ending in pos — dedup
+		// needs no side table.
+		list := ix.post[k]
+		if n := len(list); n > 0 && list[n-1] == pos {
+			return
+		}
+		ix.post[k] = append(list, pos)
+	}
+	for i := 0; i+2 < len(doc); i++ {
+		record(triKey(doc[i], doc[i+1], doc[i+2]))
+	}
+	for i := 0; i+1 < len(doc); i++ {
+		record(biKey(doc[i], doc[i+1]))
+	}
+}
+
+// Len reports the number of indexed documents.
+func (ix *Index) Len() int { return int(ix.n) }
+
+// Candidates returns the sorted positions of documents that may satisfy
+// the requirement. constrained is false when no factor was indexable
+// (every factor shorter than two bytes, or the requirement is empty) — the
+// caller must then treat every position as a candidate. The positions are
+// a superset of the true matches (gram intersection has false positives:
+// all grams present need not mean the contiguous factor is); callers
+// verify survivors with Requirement.Match.
+func (ix *Index) Candidates(req Requirement) (pos []uint32, constrained bool) {
+	var cur []uint32
+	have := false
+	step := func(list []uint32) bool {
+		if !have {
+			cur = append(cur, list...)
+			have = true
+		} else {
+			cur = intersect(cur, list)
+		}
+		return len(cur) > 0
+	}
+	for _, l := range req.lits {
+		switch {
+		case len(l) >= 3:
+			for i := 0; i+2 < len(l); i++ {
+				if !step(ix.post[triKey(l[i], l[i+1], l[i+2])]) {
+					return nil, true
+				}
+			}
+		case len(l) == 2:
+			if !step(ix.post[biKey(l[0], l[1])]) {
+				return nil, true
+			}
+		}
+	}
+	return cur, have
+}
+
+// intersect merges two sorted posting lists in place of a.
+func intersect(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package prefilter is the engine's literal-requirement subsystem: a small
+// algebra of "required literal" sets that compiles with spanners and
+// queries, and a corpus skip index that turns those sets into candidate
+// document lists.
+//
+// A Requirement is a conjunction of byte-string factors every matching
+// document must contain — a sound (never complete) necessary condition
+// derived from the regex formula (internal/rgx.RequiredLiterals) and
+// propagated through the spanner algebra: Join and Project preserve the
+// union of their operands' requirements (a joined match satisfies both
+// sides; projection never changes which documents match), Union keeps only
+// factors implied by every branch. At corpus scale the Index intersects a
+// requirement's n-gram postings to visit only candidate documents instead
+// of scanning every shard.
+package prefilter
+
+import (
+	"sort"
+	"strings"
+)
+
+// MaxLiterals caps how many factors a Requirement keeps after
+// normalization; the longest (most selective) survive. Composed spanners
+// can otherwise accumulate unboundedly many factors, each costing one
+// substring scan per unindexed document.
+const MaxLiterals = 8
+
+// Requirement is a conjunction of literal factors: a document can match
+// only if it contains every one. The zero value requires nothing and
+// matches every document.
+type Requirement struct {
+	// lits is normalized: no empty strings, no factor contained in another
+	// (the longer one subsumes it), sorted longest-first (ties
+	// lexicographic), at most MaxLiterals entries.
+	lits []string
+}
+
+// New builds a normalized requirement from raw literals.
+func New(lits ...string) Requirement {
+	return Requirement{lits: normalize(lits)}
+}
+
+func normalize(lits []string) []string {
+	cand := make([]string, 0, len(lits))
+	for _, l := range lits {
+		if l != "" {
+			cand = append(cand, l)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if len(cand[i]) != len(cand[j]) {
+			return len(cand[i]) > len(cand[j])
+		}
+		return cand[i] < cand[j]
+	})
+	out := cand[:0]
+	for _, l := range cand {
+		subsumed := false
+		for _, kept := range out {
+			if strings.Contains(kept, l) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, l)
+		}
+	}
+	if len(out) > MaxLiterals {
+		out = out[:MaxLiterals]
+	}
+	return out
+}
+
+// IsEmpty reports whether the requirement constrains nothing.
+func (r Requirement) IsEmpty() bool { return len(r.lits) == 0 }
+
+// Literals returns the normalized factors, longest first.
+func (r Requirement) Literals() []string { return append([]string(nil), r.lits...) }
+
+// Longest returns the single most selective factor, or "" — the
+// one-literal view legacy callers (Spanner.RequiredLiteral) expose.
+func (r Requirement) Longest() string {
+	if len(r.lits) == 0 {
+		return ""
+	}
+	return r.lits[0]
+}
+
+// Match reports whether doc satisfies the requirement: it contains every
+// factor. Factors are checked longest (most selective) first.
+func (r Requirement) Match(doc string) bool {
+	for _, l := range r.lits {
+		if !strings.Contains(doc, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// And conjoins two requirements: a document matching a join (or any
+// composition that needs both operands to match) must satisfy both sides.
+func (r Requirement) And(o Requirement) Requirement {
+	if r.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return r
+	}
+	return New(append(r.Literals(), o.lits...)...)
+}
+
+// Or disjoins requirements: a factor survives only if every alternative
+// implies it (each branch requires some superstring of it), including
+// maximal common substrings of the branches' factors — Or of "abc" and
+// "abd" requires "ab". Any unconstrained branch makes the whole union
+// unconstrained.
+func Or(rs ...Requirement) Requirement {
+	sets := make([][]string, len(rs))
+	for i, r := range rs {
+		sets[i] = r.lits
+	}
+	return New(CommonFactors(sets)...)
+}
+
+// CommonFactors returns the maximal substrings of sets[0]'s literals that
+// every other set implies (some literal contains them): the factors
+// required by a disjunction whose branches require the given sets. It is
+// the shared core of Or and of the regex analysis's alternation case. An
+// empty set is an unconstrained branch — nothing is common. Implication
+// is window-monotone (shrinking a window keeps it implied), so a sliding
+// window over each literal finds every maximal implied substring once.
+func CommonFactors(sets [][]string) []string {
+	if len(sets) == 0 {
+		return nil
+	}
+	for _, s := range sets {
+		if len(s) == 0 {
+			return nil
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range sets[0] {
+		j, lastEnd := 0, 0
+		for i := 0; i < len(l); i++ {
+			if j < i {
+				j = i
+			}
+			for j < len(l) && impliedByAll(l[i:j+1], sets[1:]) {
+				j++
+			}
+			if j > i && j > lastEnd { // maximal: window end advanced
+				lastEnd = j
+				if s := l[i:j]; !seen[s] {
+					seen[s] = true
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// impliedByAll reports whether every set has a literal containing l (a
+// branch requiring a superstring of l transitively requires l).
+func impliedByAll(l string, sets [][]string) bool {
+	for _, set := range sets {
+		ok := false
+		for _, m := range set {
+			if strings.Contains(m, l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the requirement for diagnostics.
+func (r Requirement) String() string {
+	if r.IsEmpty() {
+		return "⊤"
+	}
+	return "contains(" + strings.Join(r.lits, " ∧ ") + ")"
+}

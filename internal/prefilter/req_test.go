@@ -1,0 +1,120 @@
+package prefilter_test
+
+import (
+	"reflect"
+	"testing"
+
+	"spanjoin/internal/prefilter"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want []string
+	}{
+		{nil, nil},
+		{[]string{""}, nil},
+		{[]string{"abc"}, []string{"abc"}},
+		{[]string{"abc", "abc"}, []string{"abc"}},
+		// "bc" is a factor of "abcd": subsumed.
+		{[]string{"bc", "abcd"}, []string{"abcd"}},
+		{[]string{"xy", "ab", ""}, []string{"ab", "xy"}},
+		// Longest first, ties lexicographic.
+		{[]string{"zz", "aaa", "yy"}, []string{"aaa", "yy", "zz"}},
+	}
+	for _, tc := range cases {
+		got := prefilter.New(tc.in...).Literals()
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("New(%q).Literals() = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewCapsLiterals(t *testing.T) {
+	lits := []string{"aaaa", "bbbb", "cccc", "dddd", "eeee", "ffff", "gggg", "hhhh", "iiii", "jjjj"}
+	r := prefilter.New(lits...)
+	if n := len(r.Literals()); n != prefilter.MaxLiterals {
+		t.Fatalf("got %d literals, want cap %d", n, prefilter.MaxLiterals)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	r := prefilter.New("needle", "hay")
+	if !r.Match("hay around the needle") {
+		t.Error("doc with both factors must match")
+	}
+	if r.Match("just hay") {
+		t.Error("doc missing a factor must not match")
+	}
+	var none prefilter.Requirement
+	if !none.Match("anything") || !none.Match("") {
+		t.Error("empty requirement must match everything")
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := prefilter.New("alpha")
+	b := prefilter.New("beta")
+	ab := a.And(b)
+	if got := ab.Literals(); len(got) != 2 {
+		t.Fatalf("And = %q, want both factors", got)
+	}
+	if !ab.Match("alpha beta") || ab.Match("alpha only") || ab.Match("beta only") {
+		t.Error("And must demand both factors")
+	}
+	var none prefilter.Requirement
+	if got := none.And(a).Literals(); !reflect.DeepEqual(got, []string{"alpha"}) {
+		t.Errorf("⊤ ∧ a = %q, want [alpha]", got)
+	}
+	if got := a.And(none).Literals(); !reflect.DeepEqual(got, []string{"alpha"}) {
+		t.Errorf("a ∧ ⊤ = %q, want [alpha]", got)
+	}
+}
+
+func TestOr(t *testing.T) {
+	// Identical branches keep the factor.
+	r := prefilter.Or(prefilter.New("err"), prefilter.New("err"))
+	if r.Longest() != "err" {
+		t.Errorf("Or(err, err) = %v", r)
+	}
+	// A branch requiring a superstring still implies the shorter factor.
+	r = prefilter.Or(prefilter.New("err"), prefilter.New("xerrx"))
+	if r.Longest() != "err" {
+		t.Errorf("Or(err, xerrx) = %v, want err", r)
+	}
+	// Maximal common substrings survive: Or of "abc" and "abd" needs "ab"
+	// (the same strengthening the regex analysis applies to alternations).
+	r = prefilter.Or(prefilter.New("abc"), prefilter.New("abd"))
+	if r.Longest() != "ab" {
+		t.Errorf("Or(abc, abd) = %v, want ab", r)
+	}
+	// Disjoint branches require nothing in common.
+	r = prefilter.Or(prefilter.New("abc"), prefilter.New("xyz"))
+	if !r.IsEmpty() {
+		t.Errorf("Or(abc, xyz) = %v, want ⊤", r)
+	}
+	// One unconstrained branch washes out the whole union.
+	r = prefilter.Or(prefilter.New("abc"), prefilter.Requirement{})
+	if !r.IsEmpty() {
+		t.Errorf("Or(abc, ⊤) = %v, want ⊤", r)
+	}
+	// Multi-factor branches: the common factor survives, and so does the
+	// single byte "a" both branches' factors share ("alpha"/"beta").
+	r = prefilter.Or(prefilter.New("alpha", "common"), prefilter.New("beta", "xcommony"))
+	if got := r.Literals(); !reflect.DeepEqual(got, []string{"common", "a"}) {
+		t.Errorf("Or = %q, want [common a]", got)
+	}
+}
+
+func TestLongest(t *testing.T) {
+	if got := prefilter.New("ab", "wxyz").Longest(); got != "wxyz" {
+		t.Errorf("Longest = %q", got)
+	}
+	var none prefilter.Requirement
+	if none.Longest() != "" {
+		t.Error("empty requirement has no longest factor")
+	}
+}

@@ -1,84 +1,94 @@
 package rgx
 
+import "spanjoin/internal/prefilter"
+
 // RequiredLiteral computes a conservative necessary factor of the formula:
 // a byte string that occurs in clr(r) for every r ∈ R(α). The empty string
 // means "no useful factor". Evaluators use it to skip documents that cannot
 // match at all — a lightweight version of the filtering direction the
-// paper's conclusion points to (Yang et al.'s negative factors).
-//
-// The analysis is sound, not complete: within a concatenation, a maximal
-// run of mandatory single-byte classes forms a factor; alternations
-// contribute only a factor common to all branches.
+// paper's conclusion points to (Yang et al.'s negative factors). It is the
+// single-factor view of RequiredLiterals: the longest factor of the set,
+// ties broken lexicographically.
 func RequiredLiteral(n Node) string {
-	_, best := analyze(n)
+	best := ""
+	for _, l := range RequiredLiterals(n) {
+		if len(l) > len(best) || (len(l) == len(best) && l < best) {
+			best = l
+		}
+	}
 	return best
 }
 
-// analyze returns (exact, best): exact is the literal the node always
-// produces when it is a fixed single string ("" plus ok=false semantics are
-// folded: exact == "" means "not a fixed literal" unless the node is ε),
-// and best is the longest factor guaranteed to occur in every word.
-func analyze(n Node) (exact string, best string) {
+func isEpsilonNode(n Node) bool {
+	_, ok := n.(Epsilon)
+	return ok
+}
+
+// RequiredLiterals computes the full conservative requirement set of the
+// formula: every returned literal occurs in clr(r) for every r ∈ R(α), so a
+// document missing any one of them cannot match. Unlike RequiredLiteral,
+// which keeps only the single longest factor, this surfaces every mandatory
+// run of a concatenation (e.g. `x{ERROR}.*y{op=}` requires both "ERROR" and
+// "op="), which composition layers combine into multi-literal prefilters.
+// The list is raw — callers normalize (dedupe, drop subsumed factors).
+func RequiredLiterals(n Node) []string {
+	_, req := analyzeAll(n)
+	return req
+}
+
+// analyzeAll is the set-valued analogue of analyze: exact has the same
+// semantics; req is a set of literals each guaranteed to occur in every
+// word of the node's language.
+func analyzeAll(n Node) (exact string, req []string) {
 	switch t := n.(type) {
-	case Empty:
-		// The empty language: every claim is vacuously true, but a factor
-		// from a dead branch must not leak into alternations; callers of ∅
-		// have been simplified away by SimplifyEmpty in compiled formulas.
-		return "", ""
-	case Epsilon:
-		return "", ""
+	case Empty, Epsilon:
+		return "", nil
 	case Class:
 		if t.C.Len() == 1 {
 			b, _ := t.C.Min()
 			s := string(b)
-			return s, s
+			return s, []string{s}
 		}
-		return "", ""
+		return "", nil
 	case Concat:
-		run := ""  // current mandatory literal run
-		best := "" // longest factor seen
+		run := "" // current mandatory literal run
 		allExact := true
 		joined := ""
 		for _, c := range t.Subs {
-			ex, sub := analyze(c)
-			if len(sub) > len(best) {
-				best = sub
-			}
+			ex, sub := analyzeAll(c)
 			if ex != "" || isEpsilonNode(c) {
+				// Exact children extend the run; their own requirement set is
+				// subsumed by the run (it contains the child verbatim).
 				run += ex
 				joined += ex
-				if len(run) > len(best) {
-					best = run
-				}
 				continue
 			}
 			allExact = false
-			run = ""
+			if run != "" {
+				req = append(req, run)
+				run = ""
+			}
+			// A non-exact child still contributes its mandatory factors:
+			// every word threads through it.
+			req = append(req, sub...)
+		}
+		if run != "" {
+			req = append(req, run)
 		}
 		if allExact {
-			return joined, best
+			return joined, req
 		}
-		return "", best
+		return "", req
 	case Alt:
-		// A factor common to all branches: use the shortest branch factor
-		// if it occurs in every branch's factor set; conservatively, demand
-		// identical factors.
+		// A literal is required by the alternation iff every branch implies
+		// it: each branch's set has a factor containing it. Maximal common
+		// substrings of branch factors qualify too ((abc|abd) requires "ab").
 		exacts := make([]string, len(t.Subs))
-		bests := make([]string, len(t.Subs))
+		sets := make([][]string, len(t.Subs))
 		for i, c := range t.Subs {
-			exacts[i], bests[i] = analyze(c)
+			exacts[i], sets[i] = analyzeAll(c)
 		}
-		sameBest := true
-		for i := 1; i < len(bests); i++ {
-			if bests[i] != bests[0] {
-				sameBest = false
-				break
-			}
-		}
-		b := ""
-		if sameBest {
-			b = bests[0]
-		}
+		req = prefilter.CommonFactors(sets)
 		sameExact := exacts[0] != ""
 		for i := 1; i < len(exacts); i++ {
 			if exacts[i] != exacts[0] {
@@ -86,21 +96,18 @@ func analyze(n Node) (exact string, best string) {
 			}
 		}
 		if sameExact {
-			return exacts[0], b
+			return exacts[0], req
 		}
-		return "", b
+		return "", req
 	case Star, Opt:
-		return "", ""
+		return "", nil
 	case Plus:
-		_, b := analyze(t.Sub)
-		return "", b
+		// At least one iteration of the body occurs.
+		_, req = analyzeAll(t.Sub)
+		return "", req
 	case Capture:
-		return analyze(t.Sub)
+		return analyzeAll(t.Sub)
 	}
-	return "", ""
+	return "", nil
 }
 
-func isEpsilonNode(n Node) bool {
-	_, ok := n.(Epsilon)
-	return ok
-}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"spanjoin/internal/core"
+	"spanjoin/internal/prefilter"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
 )
@@ -115,6 +116,9 @@ func (b *QueryBuilder) AtomSpanner(name string, s *Spanner) *QueryBuilder {
 		b.err = err
 		return b
 	}
+	// The spanner's compile-time requirement transfers to the atom (the
+	// automaton alone cannot reproduce it).
+	a.Req = s.requirement()
 	b.cq.Atoms = append(b.cq.Atoms, a)
 	return b
 }
@@ -162,6 +166,15 @@ func (b *QueryBuilder) MustBuild() *Query {
 
 // Vars lists the output variables.
 func (q *Query) Vars() []string { return append([]string(nil), q.cq.OutVars()...) }
+
+// RequiredLiterals exposes the query's plan-level prefilter: every result
+// document must contain every returned literal (the conjunction of the
+// atoms' requirements — a result tuple joins all atoms). Empty when no
+// atom yields a factor.
+func (q *Query) RequiredLiterals() []string { return q.cq.Requirement().Literals() }
+
+// requirement exposes the prefilter requirement to the corpus layer.
+func (q *Query) requirement() prefilter.Requirement { return q.cq.Requirement() }
 
 // IsAcyclic reports alpha-acyclicity of the query hypergraph (atoms plus
 // equality predicates).
@@ -251,6 +264,10 @@ func NewUnion(qs ...*Query) (*UnionQuery, error) {
 
 // Vars lists the output variables.
 func (u *UnionQuery) Vars() []string { return append([]string(nil), u.ucq.OutVars()...) }
+
+// RequiredLiterals exposes the union's prefilter: a result may come from
+// any disjunct, so only literals every disjunct requires remain necessary.
+func (u *UnionQuery) RequiredLiterals() []string { return u.ucq.Requirement().Literals() }
 
 // Evaluate materializes all result tuples on doc, duplicate free across
 // disjuncts.

@@ -35,10 +35,10 @@ package spanjoin
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"spanjoin/internal/core"
 	"spanjoin/internal/enum"
+	"spanjoin/internal/prefilter"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
@@ -103,10 +103,12 @@ func (m Match) String() string {
 // Spanners are immutable and safe for concurrent use.
 type Spanner struct {
 	auto *vsa.VSA
-	// required is a literal every matching document must contain ("" if
-	// none was derived); Iterate uses it to skip non-matching documents
-	// without touching the automaton.
-	required string
+	// req is the literal requirement every matching document must satisfy
+	// (empty if none was derived); Iterate uses it to skip non-matching
+	// documents without touching the automaton, and the spanner algebra
+	// propagates it through composition: Join and Project carry both
+	// operands' factors, Union keeps those common to all branches.
+	req prefilter.Requirement
 }
 
 // Compile parses and compiles a regex-formula pattern.
@@ -119,7 +121,7 @@ func Compile(pattern string) (*Spanner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Spanner{auto: a, required: rgx.RequiredLiteral(f.Root)}, nil
+	return &Spanner{auto: a, req: prefilter.New(rgx.RequiredLiterals(f.Root)...)}, nil
 }
 
 // MustCompile is Compile for statically known patterns; panics on error.
@@ -161,7 +163,7 @@ func (s *Spanner) Eval(doc string) ([]Match, error) {
 // to the first match and between consecutive matches is O(n²·|doc|) for an
 // n-state spanner, independent of the result count.
 func (s *Spanner) Iterate(doc string) (*Matches, error) {
-	if s.required != "" && !strings.Contains(doc, s.required) {
+	if !s.req.IsEmpty() && !s.req.Match(doc) {
 		// The required-literal prefilter: no match is possible, so skip the
 		// O(n²·|doc|) preprocessing entirely.
 		if s.auto.IsFunctional() {
@@ -175,9 +177,18 @@ func (s *Spanner) Iterate(doc string) (*Matches, error) {
 	return &Matches{it: e, vars: e.Vars(), doc: doc}, nil
 }
 
-// RequiredLiteral exposes the prefilter factor derived at compile time: a
-// byte string every matching document must contain, or "".
-func (s *Spanner) RequiredLiteral() string { return s.required }
+// RequiredLiteral exposes the most selective prefilter factor derived at
+// compile time: a byte string every matching document must contain, or "".
+func (s *Spanner) RequiredLiteral() string { return s.req.Longest() }
+
+// RequiredLiterals exposes the full prefilter requirement: every matching
+// document must contain every returned literal. Composed spanners
+// accumulate their operands' factors (Join, Project) or keep the common
+// ones (Union).
+func (s *Spanner) RequiredLiterals() []string { return s.req.Literals() }
+
+// requirement exposes the prefilter requirement to the corpus layer.
+func (s *Spanner) requirement() prefilter.Requirement { return s.req }
 
 // Stream evaluates a sequence of documents through one compiled spanner,
 // reusing a single enumerator: the automaton is trimmed, checked for
@@ -242,7 +253,7 @@ func (st *Stream) EvalCtx(ctx context.Context, doc string) ([]Match, error) {
 // next Iterate or Eval call on the same stream.
 func (st *Stream) Iterate(doc string) (*Matches, error) {
 	sp := st.sp
-	if sp.required != "" && !strings.Contains(doc, sp.required) {
+	if !sp.req.IsEmpty() && !sp.req.Match(doc) {
 		// Required-literal prefilter: skip even the graph rebuild. The
 		// functionality check runs at most once per stream.
 		if !st.functionalOK && sp.auto.IsFunctional() {
@@ -339,21 +350,27 @@ func Join(a, b *Spanner) (*Spanner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Spanner{auto: j}, nil
+	// A joined match satisfies both operands, so the composed spanner
+	// requires both operands' literals.
+	return &Spanner{auto: j, req: a.req.And(b.req)}, nil
 }
 
 // Union composes spanners with identical variable sets into their union
 // (Lemma 3.9); linear time.
 func Union(ss ...*Spanner) (*Spanner, error) {
 	autos := make([]*vsa.VSA, len(ss))
+	reqs := make([]prefilter.Requirement, len(ss))
 	for i, s := range ss {
 		autos[i] = s.auto
+		reqs[i] = s.req
 	}
 	u, err := vsa.Union(autos...)
 	if err != nil {
 		return nil, err
 	}
-	return &Spanner{auto: u}, nil
+	// A union match may come from any branch: only factors every branch
+	// requires remain necessary.
+	return &Spanner{auto: u, req: prefilter.Or(reqs...)}, nil
 }
 
 // Project restricts the spanner to the given variables (Lemma 3.8);
@@ -363,7 +380,9 @@ func Project(s *Spanner, vars ...string) (*Spanner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Spanner{auto: p}, nil
+	// Projection never changes which documents match, only the output
+	// schema, so the operand's requirement carries over unchanged.
+	return &Spanner{auto: p, req: s.req}, nil
 }
 
 // KeyAttribute decides whether x is a key attribute of the spanner
