@@ -130,7 +130,9 @@ func runE8(quick bool) {
 		})
 		var count int
 		de := timeIt(func() {
-			e, err := enum.Prepare(joined, s)
+			// The ζ=-compiled automaton exists for this document only —
+			// the engine's per-document paths use PrepareOnce for it.
+			e, err := enum.PrepareOnce(joined, s)
 			if err != nil {
 				panic(err)
 			}

@@ -6,12 +6,15 @@
 // Usage:
 //
 //	spanbench [-experiment all|E1|E2|...|E10|F1|G1] [-quick] [-json out.json]
+//	          [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // All workloads are seeded; output is deterministic modulo wall-clock
 // timings. With -json, every printed table is also recorded to the given
 // file as structured rows (experiment id, headers, cells), so successive
 // runs can be archived as BENCH_*.json perf trajectories and diffed by
-// later PRs.
+// later PRs. -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments, so perf work can profile exactly the workload it
+// is optimizing without ad-hoc patches.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -37,11 +41,55 @@ func register(id, title string, run func(quick bool)) {
 	experiments = append(experiments, experiment{id, title, run})
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with defer-friendly control flow: the CPU profile must be
+// stopped (and the heap profile written) on every exit path, which os.Exit
+// inside the loop would skip. The exit code is a named return so the
+// deferred heap-profile write can fail the run.
+func run() (code int) {
 	which := flag.String("experiment", "all", "experiment id (E1..E10, F1, G1) or 'all'")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	jsonOut := flag.String("json", "", "also record every table to this file as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spanbench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "spanbench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "spanbench: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "spanbench: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
 
 	recorder.enabled = *jsonOut != ""
 	sort.Slice(experiments, func(i, j int) bool { return experiments[i].id < experiments[j].id })
@@ -58,14 +106,15 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "spanbench: unknown experiment %q\n", *which)
-		os.Exit(2)
+		return 2
 	}
 	if *jsonOut != "" {
 		if err := recorder.write(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "spanbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // jsonTable is one recorded table of a run.

@@ -258,16 +258,21 @@ func (c *Corpus) compileCached(mode, pattern string, compile func(string) (*Span
 
 // EvalSpanner evaluates a precompiled spanner over every document in the
 // corpus (bypassing the cache). The spanner's required-literal prefilter
-// skips non-matching documents before any per-document work.
+// skips non-matching documents before any per-document work, and its
+// compiled plan — closures, letter table, byte-class transition table — is
+// memoized on the spanner itself, so the corpus cache's Spanners carry
+// their plan across Eval calls: one compilation per cached query, then
+// pure matrix sweeps over every document the store will ever hold.
 func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner) (*CorpusMatches, error) {
-	res, err := c.store.Eval(ctx, sp.auto, corpus.EvalOptions{
+	p, err := sp.compiledPlan()
+	if err != nil {
+		return nil, err
+	}
+	res := c.store.EvalPlan(ctx, p, corpus.EvalOptions{
 		Workers:  c.workers,
 		Buffer:   c.buffer,
 		Required: sp.req,
 	})
-	if err != nil {
-		return nil, err
-	}
 	return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
 }
 
@@ -287,16 +292,14 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 	forcedCanonical := o.Strategy == core.Canonical
 	if len(q.cq.Equalities) == 0 && !forcedCanonical {
 		// Equality-free fast path: the whole plan (join + projection) is
-		// document independent; compile once per Query and share the
-		// enumerator arenas across the worker pool.
-		auto, err := q.compiledAutomaton()
+		// document independent; compile once per Query — automaton,
+		// closures and transition table — and share it across the worker
+		// pool and across repeated EvalQuery calls.
+		p, err := q.compiledPlan()
 		if err != nil {
 			return nil, err
 		}
-		res, err := c.store.Eval(ctx, auto, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
-		if err != nil {
-			return nil, err
-		}
+		res := c.store.EvalPlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
 		return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
 	}
 	vars := q.cq.OutVars()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"spanjoin"
+	"spanjoin/internal/enum"
 	"spanjoin/internal/oracle"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/span"
@@ -135,6 +136,16 @@ func FuzzCorpusVsEval(f *testing.F) {
 			t.Fatalf("pattern %q: indexed stats %+v don't cover %d docs", pattern, st, len(docs))
 		}
 
+		// The corpus fan-out (and Spanner.Eval) run on the byte-class
+		// compiled transition table; the preserved per-transition reference
+		// build is the independent witness that the matrix sweep built the
+		// same graphs. One reference enumerator, Reset per document — the
+		// plan compiles once per fuzz input, not once per document.
+		re, err := enum.PrepareRef(rgx.MustCompilePattern(pattern), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+
 		for i, doc := range docs {
 			ref, err := sp.Eval(doc)
 			if err != nil {
@@ -143,6 +154,11 @@ func FuzzCorpusVsEval(f *testing.F) {
 			want := make([]span.Tuple, len(ref))
 			for k, m := range ref {
 				want[k] = tupleOf(m)
+			}
+			re.Reset(doc)
+			if !oracle.EqualTupleSets(want, re.All()) {
+				t.Fatalf("pattern %q doc %q: compiled-table path disagrees with per-transition reference",
+					pattern, doc)
 			}
 			if !sameTupleMultiset(got[ids[i]], want) {
 				t.Fatalf("pattern %q doc %q: corpus %v, per-doc eval %v",

@@ -82,6 +82,17 @@ func (r Row) Any() bool {
 	return false
 }
 
+// Intersects reports whether r ∩ o is non-empty, without materializing the
+// intersection — the word-parallel liveness test of the backward prune.
+func (r Row) Intersects(o Row) bool {
+	for i, w := range r {
+		if w&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Count returns the number of set bits.
 func (r Row) Count() int {
 	c := 0
@@ -162,6 +173,30 @@ func (m *Matrix) Row(i int) Row {
 	off := i * m.words
 	return Row(m.bits[off : off+m.words : off+m.words])
 }
+
+// MulOr computes dst |= src × M over the Boolean semiring: for every set
+// bit p of src it ORs row p of the matrix into dst. This is the fused
+// row-times-matrix kernel of the enumerator's forward sweep — one call
+// advances a whole frontier through a precomposed transition matrix with
+// word operations only, no per-transition branches. src indexes the
+// matrix's rows; dst must span the matrix's column universe.
+func (m *Matrix) MulOr(dst, src Row) {
+	for wi, w := range src {
+		base := wi << wordShift
+		for w != 0 {
+			p := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			row := m.bits[p*m.words : (p+1)*m.words]
+			for k, rw := range row {
+				dst[k] |= rw
+			}
+		}
+	}
+}
+
+// CapWords reports the capacity of the backing word slice — the memory the
+// matrix retains across Resize calls (pooled-scratch size accounting).
+func (m *Matrix) CapWords() int { return cap(m.bits) }
 
 // Resize reshapes the matrix to rows×n bits, zeroing all content. The
 // backing slice is reused when large enough.

@@ -171,7 +171,9 @@ func (q *CQ) EnumerateJoined(joined *vsa.VSA, s string) (Iterator, error) {
 			return nil, err
 		}
 	}
-	return enum.Prepare(joined, s)
+	// The assembled automaton exists for this document only: skip the
+	// transition-table compilation that could never amortize.
+	return enum.PrepareOnce(joined, s)
 }
 
 // evalCanonical is the canonical relational plan: materialize each atom
@@ -339,7 +341,8 @@ func (u *UCQ) Enumerate(s string, opts Options) (Iterator, error) {
 			return nil, err
 		}
 	}
-	return enum.Prepare(union, s)
+	// Per-document union assembly, like EnumerateJoined: single-use.
+	return enum.PrepareOnce(union, s)
 }
 
 // Eval evaluates the UCQ and materializes the result.

@@ -148,20 +148,31 @@ func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (*Results
 		total += len(shards[i].docs)
 	}
 	if total == 0 {
-		// Empty snapshot: nothing to prepare, no pool to spin up.
+		// Empty snapshot: nothing to compile, no pool to spin up.
 		return exhausted(a.Vars), nil
 	}
-	base, err := enum.Prepare(a, "")
+	p, err := enum.NewPlan(a)
 	if err != nil {
 		return nil, err
 	}
-	first := true
+	return s.evalShards(ctx, p, shards, opt), nil
+}
+
+// EvalPlan is Eval for a plan compiled ahead of time. The corpus layer
+// caches one plan per compiled query, so repeated evaluations over the
+// whole store reuse the trimmed automaton, closures, letter table and
+// byte-class transition table with no per-call compilation at all — the
+// table is built exactly once per cached query.
+func (s *Store) EvalPlan(ctx context.Context, p *enum.Plan, opt EvalOptions) *Results {
+	return s.evalShards(ctx, p, s.plan(opt.Required), opt)
+}
+
+// evalShards runs the shared-enumerator fast path over a planned snapshot:
+// every worker gets its own enumerator over the shared plan (one arena
+// allocation) and cycles its documents through it with Reset.
+func (s *Store) evalShards(ctx context.Context, p *enum.Plan, shards []evalShard, opt EvalOptions) *Results {
 	newEval := func() DocEval {
-		e := base // the first worker adopts the base enumerator's arenas
-		if !first {
-			e = base.Clone()
-		}
-		first = false
+		e := p.NewEnumerator()
 		return func(doc string, emit func(span.Tuple) bool) error {
 			e.Reset(doc)
 			for {
@@ -175,7 +186,7 @@ func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (*Results
 			}
 		}
 	}
-	return s.run(ctx, shards, base.Vars(), newEval, opt), nil
+	return s.run(ctx, shards, p.Vars(), newEval, opt)
 }
 
 // EvalFunc is Eval for evaluators that cannot share a compiled enumerator
@@ -254,8 +265,8 @@ func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, 
 	}
 	done := cctx.Done()
 	// Materialize every worker's evaluator before starting any goroutine:
-	// constructors may read shared compiled state (Enumerator.Clone reads
-	// the base enumerator) that the first worker would already be mutating.
+	// EvalFunc constructors may read shared state that a running worker
+	// would already be mutating.
 	evals := make([]DocEval, workers)
 	for w := range evals {
 		evals[w] = newEval()

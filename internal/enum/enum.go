@@ -11,11 +11,15 @@
 // without repetition, in the style of Ackerman–Shallit. Distinct tuples
 // correspond to distinct strings over K, so deduplication is inherent.
 //
-// State sets are packed bitset rows (internal/bitset): the forward and
-// backward level passes, the rawEdges construction and the per-level set
-// merges of the radix enumeration are word operations, and every
-// document-independent artifact (trimmed automaton, closures, letter table)
-// is computed once and reused. An Enumerator is resettable: Reset(s)
+// State sets are packed bitset rows (internal/bitset), and all per-
+// (state, transition, byte) work happens at compile time: the Plan holds a
+// byte-class compiled transition table (vsa.TransitionTable) whose per-class
+// matrices pre-compose δ with the variable-ε closure, so the forward pass is
+// one fused row×matrix multiply per document position, the backward prune a
+// word-parallel intersection test per state, and per-level edges are read
+// straight off the matrix rows. Every document-independent artifact
+// (trimmed automaton, closures, letter table, transition table) is computed
+// once per Plan and shared. An Enumerator is resettable: Reset(s)
 // rebuilds the layered graph for a new document into the enumerator's own
 // arenas, so streaming many documents through one compiled pattern
 // allocates almost nothing per document; transient build scratch is shared
@@ -26,6 +30,7 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spanjoin/internal/bitset"
 	"spanjoin/internal/nfa"
@@ -67,13 +72,18 @@ type Enumerator struct {
 	startLetters  []int32
 	startByLetter [][]int32
 
-	// Document-independent compiled state, cached for Reset and Clone.
+	// Document-independent compiled state, shared through the Plan by
+	// Reset, Clone and every corpus worker.
 	auto      *vsa.VSA // trimmed functional automaton
-	ct        *vsa.ConfigTable
 	cl        *vsa.Closures
+	tt        *vsa.TransitionTable
+	link      *linkLists
 	letterOf  []int32
 	charAdj   [][]vsa.Tr // character transitions per state
 	emptyLang bool       // the automaton's language is empty for every s
+	// refBuild selects the preserved per-transition graph build instead of
+	// the byte-class matrix sweep (PrepareRef; differential testing only).
+	refBuild bool
 
 	// Persistent graph arenas, resliced and refilled by every build.
 	letterArena   []int32
@@ -110,6 +120,12 @@ type prepScratch struct {
 	edgeTgt   []int32
 	lvlEdge   [][2]int32
 
+	// rowStates materializes one matrix row's successor states during level
+	// linking (matrix build path only); groupStart tracks group boundaries
+	// during single-pass link-list emission.
+	rowStates  []int32
+	groupStart []int32
+
 	// Letter grouping scratch, sized by the letter count.
 	cnt      []int32
 	pos      []int32
@@ -117,6 +133,40 @@ type prepScratch struct {
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(prepScratch) }}
+
+// maxScratchRetain caps the bytes a prepScratch may carry back into the
+// pool. Scratch arenas grow with the document (the level matrices are
+// (N+1)×n bits), so without a cap a single huge document would pin its
+// arenas in every pooled scratch for the life of the process; oversized
+// scratches are dropped instead, and steady-state memory tracks the
+// working set.
+const maxScratchRetain = 4 << 20
+
+// scratchDrops counts scratches dropped at the cap (observability + the
+// pool-retention regression test).
+var scratchDrops atomic.Uint64
+
+// putScratch pools sc for reuse unless its arenas outgrew maxScratchRetain;
+// it reports whether sc was pooled.
+func putScratch(sc *prepScratch) bool {
+	if sc.retainedBytes() > maxScratchRetain {
+		scratchDrops.Add(1)
+		return false
+	}
+	scratchPool.Put(sc)
+	return true
+}
+
+// retainedBytes sums the capacity of every buffer sc would carry back into
+// the pool.
+func (sc *prepScratch) retainedBytes() int {
+	b := 8 * (sc.fwd.CapWords() + sc.alive.CapWords() + cap(sc.succ))
+	b += 4 * (cap(sc.stateIdx) + cap(sc.lsArena) + cap(sc.edgeOwner) +
+		cap(sc.edgeTgt) + cap(sc.rowStates) + cap(sc.groupStart) +
+		cap(sc.cnt) + cap(sc.pos) + cap(sc.distinct))
+	b += 8 * (cap(sc.lsSpan) + cap(sc.edgeSpan) + cap(sc.lvlEdge))
+	return b
+}
 
 func (sc *prepScratch) init(n, N, letters int) {
 	sc.fwd.Resize(N+1, n)
@@ -174,32 +224,49 @@ func growKeep[T any](s []T, n int) []T {
 	return ns
 }
 
-// Prepare trims A, verifies functionality, and builds the layered graph for
-// s. It returns vsa.ErrNotFunctional (wrapped) for non-functional automata.
+// Prepare trims A, verifies functionality, compiles the plan (closures,
+// letter table, byte-class transition table) and builds the layered graph
+// for s. It returns vsa.ErrNotFunctional (wrapped) for non-functional
+// automata. Callers evaluating many documents through one automaton should
+// build the Plan once and reuse it instead.
 func Prepare(a *vsa.VSA, s string) (*Enumerator, error) {
-	t, ct, err := a.RequireFunctional()
+	p, err := NewPlan(a)
 	if err != nil {
 		return nil, err
 	}
-	e := &Enumerator{vars: t.Vars, n: len(s)}
-	if t.NumStates() == 2 && t.NumTransitions() == 0 && t.Init != t.Final {
-		e.emptyLang = true
-		e.empty = true
-		return e, nil
+	return p.Prepare(s), nil
+}
+
+// PrepareOnce is Prepare for a single-use automaton — the per-document
+// compilation paths (string-equality selections, per-document query
+// plans), where the automaton exists for exactly one document. It skips
+// the byte-class transition table and link lists, whose construction cost
+// can never amortize, and builds the graph with the per-transition pass.
+func PrepareOnce(a *vsa.VSA, s string) (*Enumerator, error) {
+	p, err := newPlan(a, false)
+	if err != nil {
+		return nil, err
 	}
-	e.auto, e.ct = t, ct
-	e.cl = t.NewClosures()
-	e.letterOf = internLetters(t, ct, e)
-	e.charAdj = make([][]vsa.Tr, t.NumStates())
-	for q := range e.charAdj {
-		for _, tr := range t.Adj[q] {
-			if tr.Kind == vsa.KChar {
-				e.charAdj[q] = append(e.charAdj[q], tr)
-			}
-		}
+	e := p.NewEnumerator()
+	e.Reset(s)
+	return e, nil
+}
+
+// PrepareRef is Prepare on the preserved per-transition reference build:
+// the returned enumerator constructs its layered graphs by walking each
+// frontier state's character transitions and testing byte membership per
+// transition — the pre-table implementation — and keeps doing so across
+// Reset and Clone. It exists for differential testing and the EB benchmark;
+// its output is identical to Prepare's. No transition table is compiled
+// (the reference build never reads one).
+func PrepareRef(a *vsa.VSA, s string) (*Enumerator, error) {
+	p, err := newPlan(a, false)
+	if err != nil {
+		return nil, err
 	}
-	e.mergeRow = bitset.NewRow(t.NumStates())
-	e.build(s)
+	e := p.NewEnumerator()
+	e.refBuild = true
+	e.Reset(s)
 	return e, nil
 }
 
@@ -219,9 +286,9 @@ func (e *Enumerator) Reset(s string) {
 }
 
 // Clone returns an enumerator sharing e's document-independent compiled
-// state (trimmed automaton, closures, letter table) with its own build
-// arenas and cursor, for use from another goroutine. The clone has no
-// document prepared: call Reset before Next.
+// state (trimmed automaton, closures, letter and transition tables) with
+// its own build arenas and cursor, for use from another goroutine. The
+// clone has no document prepared: call Reset before Next.
 func (e *Enumerator) Clone() *Enumerator {
 	c := &Enumerator{
 		vars:      e.vars,
@@ -230,10 +297,12 @@ func (e *Enumerator) Clone() *Enumerator {
 		emptyLang: e.emptyLang,
 		configs:   e.configs,
 		auto:      e.auto,
-		ct:        e.ct,
 		cl:        e.cl,
+		tt:        e.tt,
+		link:      e.link,
 		letterOf:  e.letterOf,
 		charAdj:   e.charAdj,
+		refBuild:  e.refBuild,
 	}
 	if e.auto != nil {
 		c.mergeRow = bitset.NewRow(e.auto.NumStates())
@@ -242,13 +311,157 @@ func (e *Enumerator) Clone() *Enumerator {
 }
 
 // build constructs the layered graph for s into e's arenas. It sets e.empty
-// when [[A]](s) = ∅.
+// when [[A]](s) = ∅. Plans compiled without a table (PrepareOnce, the
+// differential reference) take the per-transition pass.
 func (e *Enumerator) build(s string) {
+	if e.refBuild || e.tt == nil {
+		e.buildTransitions(s)
+		return
+	}
+	e.buildMatrix(s)
+}
+
+// buildMatrix is the byte-class matrix sweep: the forward pass advances the
+// whole frontier with one fused row×matrix multiply per document position
+// (next = frontier × M_class(s[i])), the backward prune is a word-parallel
+// row∩alive test per surviving state, and level linking reads each node's
+// successor set straight off its precomputed matrix row — no per-transition
+// work anywhere; δ, the byte membership tests and the variable-ε closure
+// were all folded into the matrices at plan compilation.
+func (e *Enumerator) buildMatrix(s string) {
+	t, tt := e.auto, e.tt
+	n := t.NumStates()
+	N := len(s)
+	sc := scratchPool.Get().(*prepScratch)
+	defer putScratch(sc)
+	sc.init(n, N, len(e.configs))
+
+	// Forward pass: fwd.Row(i) = possible boundary states q̂_i.
+	cur := sc.fwd.Row(0)
+	cur.CopyFrom(e.cl.VEB.Row(int(t.Init)))
+	sc.pushLevel(0, cur)
+	for i := 0; i < N; i++ {
+		m := tt.Mat(s[i])
+		if m == nil {
+			// No transition anywhere accepts this byte: no run consumes it.
+			e.markEmpty()
+			return
+		}
+		next := sc.fwd.Row(i + 1)
+		m.MulOr(next, sc.fwd.Row(i))
+		sc.pushLevel(i+1, next)
+	}
+	// The last boundary state must be the final state exactly (q̂_N = qf).
+	if !sc.fwd.Row(N).Test(t.Final) {
+		e.markEmpty()
+		return
+	}
+
+	// Backward prune: keep nodes from which (N, qf) is reachable — state p
+	// at level i survives iff its successor row meets the alive set of
+	// level i+1.
+	sc.alive.Row(N).Set(t.Final)
+	for i := N - 1; i >= 0; i-- {
+		aliveCur, aliveNext := sc.alive.Row(i), sc.alive.Row(i+1)
+		m := tt.Mat(s[i])
+		for _, p := range sc.levelStates(i) {
+			if m.Row(int(p)).Intersects(aliveNext) {
+				aliveCur.Set(p)
+			}
+		}
+	}
+
+	if !e.assembleLevels(sc, N) {
+		e.markEmpty()
+		return
+	}
+
+	// Link targets level by level: each alive node's successor set is its
+	// matrix row, filtered to alive nodes and grouped by letter into the
+	// persistent arenas. With the plan's link lists the grouping order is
+	// precomputed per (class, state), so one node links in a single pass;
+	// without them (size cap) the row is materialized and counting-sorted.
+	e.letterArena = e.letterArena[:0]
+	e.tgtArena = e.tgtArena[:0]
+	e.byLetterArena = e.byLetterArena[:0]
+	for i := 0; i < N; i++ {
+		for _, q := range sc.levelStates(i + 1) {
+			sc.stateIdx[q] = -1
+		}
+		for j := range e.levels[i+1] {
+			sc.stateIdx[e.levels[i+1][j].State] = int32(j)
+		}
+		if e.link != nil {
+			base := tt.ClassOf(s[i]) * n
+			for k := range e.levels[i] {
+				node := &e.levels[i][k]
+				node.TargetLetters, node.TargetsByLetter =
+					e.appendGroupsFromList(e.link.list(base, node.State), sc)
+			}
+			continue
+		}
+		m := tt.Mat(s[i])
+		for k := range e.levels[i] {
+			node := &e.levels[i][k]
+			sc.rowStates = m.Row(int(node.State)).AppendOnes(sc.rowStates[:0])
+			node.TargetLetters, node.TargetsByLetter =
+				e.appendLetterGroups(sc.rowStates, sc)
+		}
+	}
+
+	e.linkStart(sc, N)
+}
+
+// appendGroupsFromList groups the live targets of a pre-sorted
+// (letter, state) successor list in one pass: states whose stateIdx is -1
+// are skipped, groups close when the letter changes. Storage comes from the
+// enumerator's arenas; earlier nodes' slices stay valid across arena growth
+// because their contents are written before any later reallocation.
+func (e *Enumerator) appendGroupsFromList(list []int32, sc *prepScratch) ([]int32, [][]int32) {
+	lstart := len(e.letterArena)
+	tstart := len(e.tgtArena)
+	starts := sc.groupStart[:0]
+	cur := int32(-1)
+	for _, q := range list {
+		j := sc.stateIdx[q]
+		if j < 0 {
+			continue
+		}
+		if l := e.letterOf[q]; l != cur {
+			cur = l
+			e.letterArena = append(e.letterArena, l)
+			starts = append(starts, int32(len(e.tgtArena)))
+		}
+		e.tgtArena = append(e.tgtArena, j)
+	}
+	sc.groupStart = starts
+	if len(e.tgtArena) == tstart {
+		return nil, nil
+	}
+	letters := e.letterArena[lstart:len(e.letterArena):len(e.letterArena)]
+	bstart := len(e.byLetterArena)
+	for gi := range starts {
+		lo := int(starts[gi])
+		hi := len(e.tgtArena)
+		if gi+1 < len(starts) {
+			hi = int(starts[gi+1])
+		}
+		e.byLetterArena = append(e.byLetterArena, e.tgtArena[lo:hi:hi])
+	}
+	return letters, e.byLetterArena[bstart:len(e.byLetterArena):len(e.byLetterArena)]
+}
+
+// buildTransitions is the preserved per-transition reference build: it
+// walks each frontier state's character adjacency, tests byte membership
+// per transition and ORs in closure rows one hit at a time. PrepareRef
+// selects it; differential tests cross-validate the matrix sweep against
+// it on random automata and documents.
+func (e *Enumerator) buildTransitions(s string) {
 	t, cl := e.auto, e.cl
 	n := t.NumStates()
 	N := len(s)
 	sc := scratchPool.Get().(*prepScratch)
-	defer scratchPool.Put(sc)
+	defer putScratch(sc)
 	sc.init(n, N, len(e.configs))
 
 	// Forward pass: fwd.Row(i) = possible boundary states q̂_i.
@@ -302,19 +515,7 @@ func (e *Enumerator) build(s string) {
 		}
 	}
 
-	// Build levels: alive states in ascending order; level N is {qf}.
-	e.levels = growKeep(e.levels, N+1)
-	for i := 0; i <= N; i++ {
-		lvl := e.levels[i][:0]
-		aliveRow := sc.alive.Row(i)
-		for _, q := range sc.levelStates(i) {
-			if aliveRow.Test(q) {
-				lvl = append(lvl, GraphNode{State: q, Letter: e.letterOf[q]})
-			}
-		}
-		e.levels[i] = lvl
-	}
-	if len(e.levels[0]) == 0 {
+	if !e.assembleLevels(sc, N) {
 		e.markEmpty()
 		return
 	}
@@ -350,8 +551,30 @@ func (e *Enumerator) build(s string) {
 		}
 	}
 
-	// Start transitions: the virtual initial state of A_G fans out to every
-	// level-0 node, labelled with the node's letter.
+	e.linkStart(sc, N)
+}
+
+// assembleLevels materializes the alive states of every level in ascending
+// order (level N is {qf}); it reports false when level 0 died, i.e. no
+// accepting path survives the prune. The prune only marks states of the
+// level's forward set, so reading the alive row directly yields exactly
+// the surviving subsequence of the level's state list.
+func (e *Enumerator) assembleLevels(sc *prepScratch, N int) bool {
+	e.levels = growKeep(e.levels, N+1)
+	for i := 0; i <= N; i++ {
+		lvl := e.levels[i][:0]
+		sc.rowStates = sc.alive.Row(i).AppendOnes(sc.rowStates[:0])
+		for _, q := range sc.rowStates {
+			lvl = append(lvl, GraphNode{State: q, Letter: e.letterOf[q]})
+		}
+		e.levels[i] = lvl
+	}
+	return len(e.levels[0]) > 0
+}
+
+// linkStart groups the virtual initial state's fan-out to every level-0
+// node by letter, and sizes the enumeration cursor slices.
+func (e *Enumerator) linkStart(sc *prepScratch, N int) {
 	for _, q := range sc.levelStates(0) {
 		sc.stateIdx[q] = -1
 	}
@@ -475,7 +698,7 @@ func groupByLetter(pairs []letterTarget) ([]int32, [][]int32) {
 	return letters, byLetter
 }
 
-func internLetters(t *vsa.VSA, ct *vsa.ConfigTable, e *Enumerator) []int32 {
+func internLetters(t *vsa.VSA, ct *vsa.ConfigTable) (letterOf []int32, configs []vsa.Config) {
 	n := t.NumStates()
 	type entry struct {
 		key   string
@@ -497,12 +720,12 @@ func internLetters(t *vsa.VSA, ct *vsa.ConfigTable, e *Enumerator) []int32 {
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	id := make(map[string]int32, len(entries))
-	e.configs = make([]vsa.Config, len(entries))
+	configs = make([]vsa.Config, len(entries))
 	for i, en := range entries {
 		id[en.key] = int32(i)
-		e.configs[i] = en.cfg
+		configs[i] = en.cfg
 	}
-	letterOf := make([]int32, n)
+	letterOf = make([]int32, n)
 	for q := 0; q < n; q++ {
 		cfg := ct.Cfg[q]
 		if cfg == nil {
@@ -510,7 +733,7 @@ func internLetters(t *vsa.VSA, ct *vsa.ConfigTable, e *Enumerator) []int32 {
 		}
 		letterOf[q] = id[cfg.Key()]
 	}
-	return letterOf
+	return letterOf, configs
 }
 
 // Vars returns the variable list of the underlying spanner; tuples returned

@@ -96,13 +96,20 @@ func EvalAllDocs(a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span
 // is abortable mid-enumeration even on a single pathological document. On
 // cancellation it returns ctx's error instead of a partial result.
 func EvalAllDocsCtx(ctx context.Context, a *vsa.VSA, docs []string, workers int) (span.VarList, [][]span.Tuple, error) {
-	base, err := Prepare(a, "")
+	p, err := NewPlan(a)
 	if err != nil {
 		return nil, nil, err
 	}
+	return EvalAllDocsPlanCtx(ctx, p, docs, workers)
+}
+
+// EvalAllDocsPlanCtx is EvalAllDocsCtx for a plan compiled ahead of time:
+// nothing document-independent is recompiled, each worker only allocates
+// its own build arenas.
+func EvalAllDocsPlanCtx(ctx context.Context, p *Plan, docs []string, workers int) (span.VarList, [][]span.Tuple, error) {
 	results := make([][]span.Tuple, len(docs))
 	if len(docs) == 0 {
-		return base.vars, results, nil
+		return p.vars, results, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -111,22 +118,20 @@ func EvalAllDocsCtx(ctx context.Context, a *vsa.VSA, docs []string, workers int)
 		workers = len(docs)
 	}
 	if workers == 1 {
-		e := base
+		e := p.NewEnumerator()
 		for i, doc := range docs {
 			e.Reset(doc)
+			var err error
 			if results[i], err = e.AllCtx(ctx); err != nil {
 				return nil, nil, err
 			}
 		}
-		return base.vars, results, nil
+		return p.vars, results, nil
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
-		e := base // worker 0 reuses the base enumerator and its arenas
-		if w > 0 {
-			e = base.Clone()
-		}
+		e := p.NewEnumerator()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -147,7 +152,7 @@ func EvalAllDocsCtx(ctx context.Context, a *vsa.VSA, docs []string, workers int)
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	return base.vars, results, nil
+	return p.vars, results, nil
 }
 
 // prefix is a fixed choice of the first depth letters with the resulting

@@ -1,0 +1,144 @@
+package vsa
+
+import (
+	"sync/atomic"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/bitset"
+)
+
+// tableBuilds counts TransitionTable constructions process-wide. The corpus
+// compiled-query cache is supposed to build the table exactly once per
+// cached query; tests assert that through this counter instead of relying
+// on code inspection.
+var tableBuilds atomic.Uint64
+
+// TableBuildCount reports how many transition tables this process has built.
+func TableBuildCount() uint64 { return tableBuilds.Load() }
+
+// TransitionTable is the byte-class compiled transition representation of a
+// trimmed functional automaton, in the style of RE2-like byte-class
+// compression: the 256 byte values are partitioned into equivalence classes
+// (two bytes are equivalent iff every CharClass on every transition treats
+// them identically), and each class c carries a boundary-to-boundary bitset
+// matrix M_c whose row p is the union of VE-closure rows VE(to) over all
+// character transitions p --σ--> to with σ ∈ c — δ pre-composed with the
+// variable-ε closure. Advancing a frontier of boundary states over one
+// document byte is then a single row×matrix multiply (bitset.Matrix.MulOr),
+// and the successor set of an individual state is a precomputed matrix row.
+//
+// The table depends only on the compiled automaton, never on a document, so
+// it is built once per compiled query and shared by every enumerator,
+// clone and corpus worker. Memory is NumClasses live matrices of n² bits
+// each — the same order as the closure matrices the automaton already
+// carries; the class of bytes no transition accepts shares a nil matrix.
+type TransitionTable struct {
+	classOf    [256]uint8
+	numClasses int
+	repr       []byte
+	// mats[c] is M_c; nil for the dead class (no transition accepts its
+	// bytes — a document containing one cannot match at all).
+	mats []*bitset.Matrix
+}
+
+// NewTransitionTable compiles the table for a trimmed automaton and its
+// closures (the artifacts RequireFunctional / NewClosures produce). Cost is
+// O(256·|distinct classes|) for the byte partition plus O(C·m·n/w) word
+// operations to fill the matrices.
+func NewTransitionTable(a *VSA, cl *Closures) *TransitionTable {
+	tableBuilds.Add(1)
+	tt := &TransitionTable{}
+
+	// Distinct character-transition classes, in first-seen order.
+	var distinct []alphabet.Class
+	seen := make(map[alphabet.Class]struct{})
+	for _, ts := range a.Adj {
+		for _, tr := range ts {
+			if tr.Kind != KChar {
+				continue
+			}
+			if _, ok := seen[tr.Class]; !ok {
+				seen[tr.Class] = struct{}{}
+				distinct = append(distinct, tr.Class)
+			}
+		}
+	}
+
+	// Partition bytes by membership signature over the distinct classes:
+	// equal signatures ⇔ no transition label can tell the bytes apart.
+	sig := make([]byte, (len(distinct)+7)/8)
+	ids := make(map[string]uint8)
+	for b := 0; b < 256; b++ {
+		for i := range sig {
+			sig[i] = 0
+		}
+		for i, c := range distinct {
+			if c.Contains(byte(b)) {
+				sig[i>>3] |= 1 << (i & 7)
+			}
+		}
+		id, ok := ids[string(sig)]
+		if !ok {
+			id = uint8(len(tt.repr))
+			ids[string(sig)] = id
+			tt.repr = append(tt.repr, byte(b))
+		}
+		tt.classOf[b] = id
+	}
+	tt.numClasses = len(tt.repr)
+
+	// Fill M_c row by row: δ restricted to the class, pre-composed with the
+	// variable-ε closure. A class whose representative matches no transition
+	// anywhere keeps a nil matrix (the dead class).
+	n := a.NumStates()
+	tt.mats = make([]*bitset.Matrix, tt.numClasses)
+	for c := range tt.mats {
+		rep := tt.repr[c]
+		live := false
+		for _, ts := range a.Adj {
+			for _, tr := range ts {
+				if tr.Kind == KChar && tr.Class.Contains(rep) {
+					live = true
+					break
+				}
+			}
+			if live {
+				break
+			}
+		}
+		if !live {
+			continue
+		}
+		m := bitset.NewMatrix(n, n)
+		for q := 0; q < n; q++ {
+			row := m.Row(q)
+			for _, tr := range a.Adj[q] {
+				if tr.Kind == KChar && tr.Class.Contains(rep) {
+					row.Or(cl.VEB.Row(int(tr.To)))
+				}
+			}
+		}
+		tt.mats[c] = m
+	}
+	return tt
+}
+
+// NumClasses reports the number of byte equivalence classes (including the
+// dead class, when some byte matches no transition).
+func (tt *TransitionTable) NumClasses() int { return tt.numClasses }
+
+// ClassOf returns the equivalence class id of a byte.
+func (tt *TransitionTable) ClassOf(b byte) int { return int(tt.classOf[b]) }
+
+// Repr returns a representative byte of class c.
+func (tt *TransitionTable) Repr(c int) byte { return tt.repr[c] }
+
+// Mat returns the transition matrix for b's byte class, or nil when no
+// transition in the automaton accepts b — no run can consume the byte, so
+// any document containing it has an empty result.
+func (tt *TransitionTable) Mat(b byte) *bitset.Matrix {
+	return tt.mats[tt.classOf[b]]
+}
+
+// ClassMat returns the matrix of class c directly (nil for the dead class).
+func (tt *TransitionTable) ClassMat(c int) *bitset.Matrix { return tt.mats[c] }

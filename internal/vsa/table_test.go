@@ -1,0 +1,147 @@
+package vsa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanjoin/internal/alphabet"
+	"spanjoin/internal/bitset"
+	"spanjoin/internal/oracle"
+	"spanjoin/internal/rgx"
+	"spanjoin/internal/span"
+	"spanjoin/internal/vsa"
+)
+
+// trimmedWithClosures compiles the table inputs the way enum's Plan does.
+func trimmedWithClosures(t *testing.T, a *vsa.VSA) (*vsa.VSA, *vsa.Closures) {
+	t.Helper()
+	tr, _, err := a.RequireFunctional()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, tr.NewClosures()
+}
+
+// TestTransitionTablePartition: the byte classes must be a partition of the
+// 256 byte values such that every transition's CharClass treats all bytes
+// of one class identically — the defining property of the compression.
+func TestTransitionTablePartition(t *testing.T) {
+	patterns := []string{
+		`.*x{a+}.*y{b+}.*`,
+		`[^0-9]*x{[0-9]+}[^0-9]*`,
+		`(a|b)*x{(a|b)+}(a|b)*`,
+		`x{.*}`,
+	}
+	for _, p := range patterns {
+		a := rgx.MustCompilePattern(p)
+		tr, cl := trimmedWithClosures(t, a)
+		tt := vsa.NewTransitionTable(tr, cl)
+		if tt.NumClasses() < 1 || tt.NumClasses() > 256 {
+			t.Fatalf("%s: %d classes", p, tt.NumClasses())
+		}
+		seenClass := make(map[int]bool)
+		for b := 0; b < 256; b++ {
+			c := tt.ClassOf(byte(b))
+			if c < 0 || c >= tt.NumClasses() {
+				t.Fatalf("%s: byte %d in class %d of %d", p, b, c, tt.NumClasses())
+			}
+			seenClass[c] = true
+			rep := tt.Repr(c)
+			for _, ts := range tr.Adj {
+				for _, x := range ts {
+					if x.Kind != vsa.KChar {
+						continue
+					}
+					if x.Class.Contains(byte(b)) != x.Class.Contains(rep) {
+						t.Fatalf("%s: byte %d and its representative %d disagree on %v",
+							p, b, rep, x.Class)
+					}
+				}
+			}
+		}
+		if len(seenClass) != tt.NumClasses() {
+			t.Fatalf("%s: %d classes declared, %d inhabited", p, tt.NumClasses(), len(seenClass))
+		}
+	}
+}
+
+// TestTransitionTableRows: every matrix row must equal the union of
+// VE-closure rows over the transitions the class matches, recomputed here
+// transition by transition; a nil matrix is only allowed for a class no
+// transition accepts.
+func TestTransitionTableRows(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	vars := span.NewVarList("x", "y")
+	for trial := 0; trial < 60; trial++ {
+		a := oracle.RandomFunctionalVSA(r, vars, 5, 14)
+		tr, cl := trimmedWithClosures(t, a)
+		tt := vsa.NewTransitionTable(tr, cl)
+		n := tr.NumStates()
+		want := bitset.NewRow(n)
+		for c := 0; c < tt.NumClasses(); c++ {
+			rep := tt.Repr(c)
+			m := tt.ClassMat(c)
+			live := false
+			for q := 0; q < n; q++ {
+				want.Zero()
+				for _, x := range tr.Adj[q] {
+					if x.Kind == vsa.KChar && x.Class.Contains(rep) {
+						live = true
+						want.Or(cl.VEB.Row(int(x.To)))
+					}
+				}
+				if m == nil {
+					if want.Any() {
+						t.Fatalf("trial %d: class %d has transitions but a nil matrix", trial, c)
+					}
+					continue
+				}
+				if !m.Row(q).Equal(want) {
+					t.Fatalf("trial %d: class %d row %d mismatch", trial, c, q)
+				}
+			}
+			if !live && m != nil {
+				t.Fatalf("trial %d: dead class %d carries a matrix", trial, c)
+			}
+		}
+	}
+}
+
+// TestTransitionTableSingleByteAutomaton: an automaton over one letter
+// partitions the bytes into exactly {that letter} and the dead rest, and
+// Mat returns nil for dead bytes.
+func TestTransitionTableSingleByteAutomaton(t *testing.T) {
+	a := vsa.New(span.NewVarList("x"))
+	mid := a.AddState()
+	a.AddOpen(a.Init, 0, mid)
+	q := a.AddState()
+	a.AddChar(mid, alphabet.Single('a'), q)
+	a.AddClose(q, 0, a.Final)
+	tr, cl := trimmedWithClosures(t, a)
+	tt := vsa.NewTransitionTable(tr, cl)
+	if tt.NumClasses() != 2 {
+		t.Fatalf("classes = %d, want 2 ({a} and the dead rest)", tt.NumClasses())
+	}
+	if tt.Mat('a') == nil {
+		t.Fatal("Mat('a') = nil for a live byte")
+	}
+	if tt.Mat('b') != nil || tt.Mat(0) != nil {
+		t.Fatal("dead bytes must map to a nil matrix")
+	}
+	if tt.ClassOf('a') == tt.ClassOf('b') {
+		t.Fatal("'a' and 'b' must fall in different classes")
+	}
+}
+
+// TestTableBuildCountMonotonic: the build counter observes each
+// construction exactly once.
+func TestTableBuildCountMonotonic(t *testing.T) {
+	a := rgx.MustCompilePattern(`x{a}`)
+	tr, cl := trimmedWithClosures(t, a)
+	before := vsa.TableBuildCount()
+	vsa.NewTransitionTable(tr, cl)
+	vsa.NewTransitionTable(tr, cl)
+	if got := vsa.TableBuildCount() - before; got != 2 {
+		t.Fatalf("counter advanced by %d, want 2", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"spanjoin/internal/core"
+	"spanjoin/internal/enum"
 	"spanjoin/internal/prefilter"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
@@ -52,11 +53,16 @@ type Query struct {
 
 	// Document-independent compilation artifacts, memoized per Query (a
 	// built Query is immutable): the full automata-plan compilation
-	// (equality-free queries) and the bare atom join (the hoistable prefix
-	// of the plan when equalities must still compile per document).
+	// (equality-free queries), its enum.Plan (closures + byte-class
+	// transition table, shared by every corpus worker and Eval call), and
+	// the bare atom join (the hoistable prefix of the plan when equalities
+	// must still compile per document).
 	compileOnce sync.Once
 	compiled    *vsa.VSA
 	compileErr  error
+	planOnce    sync.Once
+	plan        *enum.Plan
+	planErr     error
 	joinOnce    sync.Once
 	joined      *vsa.VSA
 	joinErr     error
@@ -67,6 +73,21 @@ type Query struct {
 func (q *Query) compiledAutomaton() (*vsa.VSA, error) {
 	q.compileOnce.Do(func() { q.compiled, q.compileErr = q.cq.Compile() })
 	return q.compiled, q.compileErr
+}
+
+// compiledPlan memoizes the enum.Plan of the compiled automaton, so every
+// evaluation of an equality-free query — per document or corpus-wide —
+// shares one trimmed automaton, closure set and transition table.
+func (q *Query) compiledPlan() (*enum.Plan, error) {
+	q.planOnce.Do(func() {
+		auto, err := q.compiledAutomaton()
+		if err != nil {
+			q.planErr = err
+			return
+		}
+		q.plan, q.planErr = enum.NewPlan(auto)
+	})
+	return q.plan, q.planErr
 }
 
 // joinedAtoms memoizes CQ.JoinAtoms: the document-independent join prefix

@@ -35,6 +35,7 @@ package spanjoin
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"spanjoin/internal/core"
 	"spanjoin/internal/enum"
@@ -109,6 +110,24 @@ type Spanner struct {
 	// propagates it through composition: Join and Project carry both
 	// operands' factors, Union keeps those common to all branches.
 	req prefilter.Requirement
+
+	// plan is the memoized document-independent compiled state (trimmed
+	// automaton, closures, letter table, byte-class transition table),
+	// built lazily at most once per Spanner — and therefore at most once
+	// per cached corpus query, since the corpus cache stores Spanners.
+	planOnce sync.Once
+	plan     *enum.Plan
+	planErr  error
+}
+
+// compiledPlan memoizes enum.NewPlan over the spanner's automaton. Every
+// evaluation path (Iterate, Stream, EvalAllParallel, the corpus fan-out)
+// shares it, so trimming, the functionality check, closure computation and
+// the transition-table build happen once per Spanner however the spanner
+// is driven.
+func (s *Spanner) compiledPlan() (*enum.Plan, error) {
+	s.planOnce.Do(func() { s.plan, s.planErr = enum.NewPlan(s.auto) })
+	return s.plan, s.planErr
 }
 
 // Compile parses and compiles a regex-formula pattern.
@@ -165,15 +184,17 @@ func (s *Spanner) Eval(doc string) ([]Match, error) {
 func (s *Spanner) Iterate(doc string) (*Matches, error) {
 	if !s.req.IsEmpty() && !s.req.Match(doc) {
 		// The required-literal prefilter: no match is possible, so skip the
-		// O(n²·|doc|) preprocessing entirely.
-		if s.auto.IsFunctional() {
+		// O(n²·|doc|) graph build entirely. (Non-functional automata still
+		// surface their compile error below.)
+		if _, err := s.compiledPlan(); err == nil {
 			return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
 		}
 	}
-	e, err := enum.Prepare(s.auto, doc)
+	p, err := s.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
+	e := p.Prepare(doc)
 	return &Matches{it: e, vars: e.Vars(), doc: doc}, nil
 }
 
@@ -200,9 +221,6 @@ func (s *Spanner) requirement() prefilter.Requirement { return s.req }
 type Stream struct {
 	sp *Spanner
 	e  *enum.Enumerator
-	// functionalOK records a passed functionality check, so prefiltered
-	// documents before the first Prepare don't re-run it.
-	functionalOK bool
 }
 
 // NewStream opens a reusable evaluation stream over the spanner.
@@ -255,24 +273,20 @@ func (st *Stream) Iterate(doc string) (*Matches, error) {
 	sp := st.sp
 	if !sp.req.IsEmpty() && !sp.req.Match(doc) {
 		// Required-literal prefilter: skip even the graph rebuild. The
-		// functionality check runs at most once per stream.
-		if !st.functionalOK && sp.auto.IsFunctional() {
-			st.functionalOK = true
-		}
-		if st.functionalOK {
+		// plan (and with it the functionality check) is memoized on the
+		// spanner, so this costs one sync.Once read per document.
+		if _, err := sp.compiledPlan(); err == nil {
 			return &Matches{it: emptyIter{}, vars: sp.auto.Vars, doc: doc}, nil
 		}
 	}
 	if st.e == nil {
-		e, err := enum.Prepare(sp.auto, doc)
+		p, err := sp.compiledPlan()
 		if err != nil {
 			return nil, err
 		}
-		st.e = e
-		st.functionalOK = true
-	} else {
-		st.e.Reset(doc)
+		st.e = p.NewEnumerator()
 	}
+	st.e.Reset(doc)
 	return &Matches{it: st.e, vars: st.e.Vars(), doc: doc}, nil
 }
 
@@ -302,7 +316,11 @@ func (s *Spanner) EvalAllParallel(docs []string, workers int) ([][]Match, error)
 // ctx between documents and periodically within each enumeration, so the
 // call aborts mid-stream and returns ctx's error.
 func (s *Spanner) EvalAllParallelCtx(ctx context.Context, docs []string, workers int) ([][]Match, error) {
-	vars, tuples, err := enum.EvalAllDocsCtx(ctx, s.auto, docs, workers)
+	p, err := s.compiledPlan()
+	if err != nil {
+		return nil, err
+	}
+	vars, tuples, err := enum.EvalAllDocsPlanCtx(ctx, p, docs, workers)
 	if err != nil {
 		return nil, err
 	}

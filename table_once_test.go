@@ -1,0 +1,79 @@
+package spanjoin_test
+
+import (
+	"context"
+	"testing"
+
+	"spanjoin"
+	"spanjoin/internal/vsa"
+)
+
+func drainCorpus(t *testing.T, ms *spanjoin.CorpusMatches) int {
+	t.Helper()
+	n := 0
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCompiledTableBuiltOncePerCachedQuery asserts — via the construction
+// counter, not by inspection — that the byte-class transition table is
+// built exactly once per cached corpus query: repeated Eval calls on one
+// corpus hit the compiled-query cache, whose Spanner memoizes its plan.
+func TestCompiledTableBuiltOncePerCachedQuery(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(2), spanjoin.WithWorkers(3))
+	c.AddAll("aab", "abab", "bb", "aaaa", "ba")
+
+	pattern := `(a|b)*x{a+}(a|b)*`
+	before := vsa.TableBuildCount()
+	ms, err := c.Eval(context.Background(), pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drainCorpus(t, ms)
+	if first == 0 {
+		t.Fatal("test pattern matched nothing")
+	}
+	for i := 0; i < 3; i++ {
+		ms, err := c.Eval(context.Background(), pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := drainCorpus(t, ms); n != first {
+			t.Fatalf("repeat eval %d returned %d matches, first returned %d", i, n, first)
+		}
+	}
+	if got := vsa.TableBuildCount() - before; got != 1 {
+		t.Fatalf("transition table built %d times across 4 cached evaluations, want exactly 1", got)
+	}
+	if st := c.CacheStats(); st.Hits < 3 {
+		t.Fatalf("cache hits = %d, want ≥ 3 (the table-once guarantee rides on the cache)", st.Hits)
+	}
+
+	// The equality-free EvalQuery fast path memoizes its plan on the Query.
+	q := spanjoin.NewQuery().Atom(`(a|b)*x{a+}(a|b)*`).MustBuild()
+	before = vsa.TableBuildCount()
+	qm1, err := c.EvalQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := drainCorpus(t, qm1)
+	qm2, err := c.EvalQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2 := drainCorpus(t, qm2)
+	if n1 != n2 {
+		t.Fatalf("repeated EvalQuery disagrees: %d vs %d", n1, n2)
+	}
+	if got := vsa.TableBuildCount() - before; got != 1 {
+		t.Fatalf("query plan's table built %d times across 2 evaluations, want exactly 1", got)
+	}
+}
