@@ -7,6 +7,7 @@ package spanjoin_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -297,7 +298,13 @@ func BenchmarkE8_StringEquality(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				e.Count()
+				// Drain explicitly: this benchmark times the enumeration
+				// (Count is now the ranked DP and would skip it).
+				for {
+					if _, ok := e.Next(); !ok {
+						break
+					}
+				}
 			}
 		})
 	}
@@ -513,6 +520,98 @@ func BenchmarkCorpusEval(b *testing.B) {
 	b.Run("flat-evalallparallel", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sp.EvalAllParallel(docs, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEN_RankedCount: the EN experiment's hot paths — counting by
+// ranked DP vs draining the enumeration, and deep pagination by DAG
+// descent — on ~n²/2-tuple result sets.
+func BenchmarkEN_RankedCount(b *testing.B) {
+	sp := spanjoin.MustCompile(".*x{a+}.*")
+	doc := strings.Repeat("a", 512) // 131,328 matches
+	b.Run("dp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := sp.Ranked(doc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := r.Count().Uint64(); !ok {
+				b.Fatal("overflow on a small set")
+			}
+		}
+	})
+	b.Run("drain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := sp.Iterate(doc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+		}
+	})
+	b.Run("page-deep", func(b *testing.B) {
+		r, err := sp.Ranked(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total, _ := r.Count().Uint64()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(r.Page(total-10, 10)) != 10 {
+				b.Fatal("short page")
+			}
+		}
+	})
+	b.Run("sample", func(b *testing.B) {
+		r, err := sp.Ranked(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r.Sample(rng, 1) == nil {
+				b.Fatal("sample failed")
+			}
+		}
+	})
+}
+
+// BenchmarkEN_CorpusCount: corpus-wide counting through the shard workers
+// vs streaming every match.
+func BenchmarkEN_CorpusCount(b *testing.B) {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(4))
+	r := workload.Rand(11)
+	for i := 0; i < 200; i++ {
+		c.Add(workload.RandomString(r, 128, 2))
+	}
+	const pattern = ".*x{a+}.*"
+	b.Run("count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Count(context.Background(), pattern); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("drain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ms, err := c.Eval(context.Background(), pattern)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+			if err := ms.Err(); err != nil {
 				b.Fatal(err)
 			}
 		}

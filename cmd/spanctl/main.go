@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	spanctl eval  -p PATTERN [-d DOC | -f FILE] [-max N] [-json]
+//	spanctl eval  -p PATTERN [-d DOC | -f FILE] [-offset N] [-max N] [-json]
 //	    evaluate a regex formula and print every match
+//	spanctl count -p PATTERN [-d DOC | -f FILE] [-json]
+//	    print the exact number of matches without enumerating them
+//	    (ranked DP; counts beyond uint64 stay exact)
+//	spanctl sample -p PATTERN -n K [-seed S] [-d DOC | -f FILE] [-json]
+//	    print K matches drawn i.i.d. uniformly from the result set
 //	spanctl check -p PATTERN
 //	    parse a pattern and report functionality
 //	spanctl dot   -p PATTERN
@@ -17,6 +22,8 @@
 // Examples:
 //
 //	spanctl eval -p '.*x{[a-z]+}@y{[a-z]+}.*' -d 'mail bob@example now'
+//	spanctl count -p 'a*x{a+}a*' -d 'aaaaaaaa'
+//	spanctl sample -p 'a*x{a+}a*' -d 'aaaaaaaa' -n 3 -seed 7
 //	spanctl check -p 'x{a}|y{b}'
 //	spanctl key -p '.*x{a}y{b}.*' -x x
 package main
@@ -26,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
 
@@ -49,6 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch args[0] {
 	case "eval":
 		err = cmdEval(args[1:], stdout, stderr)
+	case "count":
+		err = cmdCount(args[1:], stdout)
+	case "sample":
+		err = cmdSample(args[1:], stdout, stderr)
 	case "check":
 		err = cmdCheck(args[1:], stdout)
 	case "dot":
@@ -73,13 +85,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: spanctl <eval|check|dot|key|query> [flags]
-  eval  -p PATTERN [-d DOC | -f FILE] [-max N] [-json]   evaluate on a document
-  check -p PATTERN                                       functionality check
-  dot   -p PATTERN                                       automaton as Graphviz dot
-  key   -p PATTERN -x VAR                                key-attribute test
-  query -atom P [-atom P ...] [-equal x,y] [-project v,w] [-strategy s] [-d DOC|-f FILE]
-        evaluate a conjunctive query over regex atoms`)
+	fmt.Fprintln(w, `usage: spanctl <eval|count|sample|check|dot|key|query> [flags]
+  eval   -p PATTERN [-d DOC | -f FILE] [-offset N] [-max N] [-json]
+         evaluate on a document (-offset skips ranked, not by stepping)
+  count  -p PATTERN [-d DOC | -f FILE] [-json]           exact match count, no enumeration
+  sample -p PATTERN -n K [-seed S] [-d DOC|-f FILE] [-json]
+         K i.i.d. uniform matches
+  check  -p PATTERN                                      functionality check
+  dot    -p PATTERN                                      automaton as Graphviz dot
+  key    -p PATTERN -x VAR                               key-attribute test
+  query  -atom P [-atom P ...] [-equal x,y] [-project v,w] [-strategy s] [-d DOC|-f FILE]
+         evaluate a conjunctive query over regex atoms`)
 }
 
 func readDoc(doc, file string) (string, error) {
@@ -101,6 +117,7 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	pattern := fs.String("p", "", "regex formula pattern")
 	doc := fs.String("d", "", "document text")
 	file := fs.String("f", "", "document file ('-' for stdin)")
+	offset := fs.Uint64("offset", 0, "skip the first N matches (one ranked DAG descent, not N steps)")
 	maxN := fs.Int("max", 0, "stop after N matches (0 = all)")
 	asJSON := fs.Bool("json", false, "emit JSON lines")
 	if err := fs.Parse(args); err != nil {
@@ -121,6 +138,9 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *offset > 0 {
+		it.Skip(*offset)
+	}
 	enc := json.NewEncoder(stdout)
 	count := 0
 	for {
@@ -129,24 +149,102 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 			break
 		}
 		count++
-		if *asJSON {
-			row := map[string]any{}
-			for _, v := range m.Vars() {
-				p, _ := m.Span(v)
-				s, _ := m.Substr(v)
-				row[v] = map[string]any{"start": p.Start, "end": p.End, "text": s}
-			}
-			if err := enc.Encode(row); err != nil {
-				return err
-			}
-		} else {
-			fmt.Fprintln(stdout, m)
+		if err := printMatch(enc, stdout, m, *asJSON); err != nil {
+			return err
 		}
 		if *maxN > 0 && count >= *maxN {
 			break
 		}
 	}
 	fmt.Fprintf(stderr, "%d match(es)\n", count)
+	return nil
+}
+
+// printMatch writes one match as text or as a JSON line.
+func printMatch(enc *json.Encoder, stdout io.Writer, m spanjoin.Match, asJSON bool) error {
+	if !asJSON {
+		_, err := fmt.Fprintln(stdout, m)
+		return err
+	}
+	row := map[string]any{}
+	for _, v := range m.Vars() {
+		p, _ := m.Span(v)
+		s, _ := m.Substr(v)
+		row[v] = map[string]any{"start": p.Start, "end": p.End, "text": s}
+	}
+	return enc.Encode(row)
+}
+
+func cmdCount(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("count", flag.ContinueOnError)
+	pattern := fs.String("p", "", "regex formula pattern")
+	doc := fs.String("d", "", "document text")
+	file := fs.String("f", "", "document file ('-' for stdin)")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("-p is required")
+	}
+	text, err := readDoc(*doc, *file)
+	if err != nil {
+		return err
+	}
+	sp, err := spanjoin.Compile(*pattern)
+	if err != nil {
+		return err
+	}
+	n, err := sp.Count(text)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		// MatchCount.String is a decimal integer — a valid JSON number at
+		// any magnitude, so counts beyond uint64 stay exact on the wire.
+		fmt.Fprintf(stdout, "{\"count\":%s}\n", n)
+		return nil
+	}
+	fmt.Fprintf(stdout, "%s match(es)\n", n)
+	return nil
+}
+
+func cmdSample(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sample", flag.ContinueOnError)
+	pattern := fs.String("p", "", "regex formula pattern")
+	doc := fs.String("d", "", "document text")
+	file := fs.String("f", "", "document file ('-' for stdin)")
+	k := fs.Int("n", 1, "number of samples to draw")
+	seed := fs.Int64("seed", 1, "random seed (same seed, same draws)")
+	asJSON := fs.Bool("json", false, "emit JSON lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pattern == "" {
+		return fmt.Errorf("-p is required")
+	}
+	if *k < 1 {
+		return fmt.Errorf("-n must be at least 1")
+	}
+	text, err := readDoc(*doc, *file)
+	if err != nil {
+		return err
+	}
+	sp, err := spanjoin.Compile(*pattern)
+	if err != nil {
+		return err
+	}
+	ms, err := sp.Sample(text, rand.New(rand.NewSource(*seed)), *k)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	for _, m := range ms {
+		if err := printMatch(enc, stdout, m, *asJSON); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stderr, "%d sample(s) drawn uniformly\n", len(ms))
 	return nil
 }
 

@@ -77,8 +77,8 @@ func TestConcurrentQueries(t *testing.T) {
 				errs <- err
 				return
 			}
-			if n != ref {
-				errs <- errMismatch{n, ref}
+			if n.String() != ref.String() {
+				errs <- errMismatch{n.String(), ref.String()}
 			}
 		}(strat)
 	}
@@ -89,6 +89,6 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 }
 
-type errMismatch struct{ got, want int }
+type errMismatch struct{ got, want any }
 
 func (e errMismatch) Error() string { return "concurrent result mismatch" }

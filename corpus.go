@@ -302,17 +302,26 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 		res := c.store.EvalPlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
 		return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
 	}
+	newEval, err := queryDocEval(q, o)
+	if err != nil {
+		return nil, err
+	}
 	vars := q.cq.OutVars()
-	var newEval func() corpus.DocEval
-	if !forcedCanonical && q.cq.Plan(o) == core.Automata {
-		// Automata plan with equalities: hoist the document-independent
-		// atom join; only ζ= compilation, projection and Prepare run per
-		// document (Thm 5.4).
+	res := c.store.EvalFunc(ctx, vars, newEval, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
+	return &CorpusMatches{res: res, store: c.store, vars: vars}, nil
+}
+
+// queryDocEval builds the per-document evaluator for query plans that
+// cannot share a compiled enumerator, hoisting the document-independent
+// atom join when the automata plan applies (Thm 5.4). EvalQuery and
+// CountQuery share it.
+func queryDocEval(q *Query, o core.Options) (func() corpus.DocEval, error) {
+	if o.Strategy != core.Canonical && q.cq.Plan(o) == core.Automata {
 		joined, err := q.joinedAtoms()
 		if err != nil {
 			return nil, err
 		}
-		newEval = func() corpus.DocEval {
+		return func() corpus.DocEval {
 			return func(doc string, emit func(span.Tuple) bool) error {
 				it, err := q.cq.EnumerateJoined(joined, doc)
 				if err != nil {
@@ -320,20 +329,17 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 				}
 				return emitAll(it, emit)
 			}
-		}
-	} else {
-		newEval = func() corpus.DocEval {
-			return func(doc string, emit func(span.Tuple) bool) error {
-				it, err := q.cq.Enumerate(doc, o)
-				if err != nil {
-					return err
-				}
-				return emitAll(it, emit)
-			}
-		}
+		}, nil
 	}
-	res := c.store.EvalFunc(ctx, vars, newEval, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
-	return &CorpusMatches{res: res, store: c.store, vars: vars}, nil
+	return func() corpus.DocEval {
+		return func(doc string, emit func(span.Tuple) bool) error {
+			it, err := q.cq.Enumerate(doc, o)
+			if err != nil {
+				return err
+			}
+			return emitAll(it, emit)
+		}
+	}, nil
 }
 
 // emitAll drains an iterator into emit, stopping early on cancellation.

@@ -1,0 +1,163 @@
+package spanjoin
+
+import (
+	"context"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/corpus"
+)
+
+// Count compiles the pattern (through the corpus cache) and returns the
+// exact number of matches across every document — with no enumeration:
+// shard workers aggregate per-document ranked counts (one graph build
+// per document, cost independent of its result count), and documents the
+// prefilter or skip index excludes count as 0 without being visited.
+func (c *Corpus) Count(ctx context.Context, pattern string) (MatchCount, error) {
+	sp, err := c.compileCached("anchor", pattern, Compile)
+	if err != nil {
+		return MatchCount{}, err
+	}
+	return c.CountSpanner(ctx, sp)
+}
+
+// CountSearch is Count with substring semantics (CompileSearch).
+func (c *Corpus) CountSearch(ctx context.Context, pattern string) (MatchCount, error) {
+	sp, err := c.compileCached("search", pattern, CompileSearch)
+	if err != nil {
+		return MatchCount{}, err
+	}
+	return c.CountSpanner(ctx, sp)
+}
+
+// CountSpanner is Count for a precompiled spanner (bypassing the cache).
+func (c *Corpus) CountSpanner(ctx context.Context, sp *Spanner) (MatchCount, error) {
+	res, err := c.countSpanner(ctx, sp, false)
+	if err != nil {
+		return MatchCount{}, err
+	}
+	return newMatchCount(res.Total), nil
+}
+
+// CountAll is Count broken down by document: the exact per-document
+// match counts, keyed by DocID. Documents without matches have no entry.
+func (c *Corpus) CountAll(ctx context.Context, pattern string) (map[DocID]MatchCount, error) {
+	sp, err := c.compileCached("anchor", pattern, Compile)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.countSpanner(ctx, sp, true)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[DocID]MatchCount, len(res.PerDoc))
+	for _, dc := range res.PerDoc {
+		out[dc.Doc] = newMatchCount(dc.N)
+	}
+	return out, nil
+}
+
+func (c *Corpus) countSpanner(ctx context.Context, sp *Spanner, perDoc bool) (*corpus.CountResult, error) {
+	p, err := sp.compiledPlan()
+	if err != nil {
+		return nil, err
+	}
+	return c.store.CountPlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Required: sp.req}, perDoc)
+}
+
+// CountQuery returns the exact corpus-wide result count of a conjunctive
+// query. Equality-free queries not forced onto the canonical plan count
+// through the shared compiled plan and the ranked DP (no enumeration
+// anywhere); queries with string equalities or a forced canonical plan
+// count by draining each document's per-document evaluation — still
+// parallel and still prefiltered.
+func (c *Corpus) CountQuery(ctx context.Context, q *Query, opts ...Option) (MatchCount, error) {
+	o := buildOptions(opts)
+	eo := corpus.EvalOptions{Workers: c.workers, Required: q.requirement()}
+	if len(q.cq.Equalities) == 0 && o.Strategy != core.Canonical {
+		p, err := q.compiledPlan()
+		if err != nil {
+			return MatchCount{}, err
+		}
+		res, err := c.store.CountPlan(ctx, p, eo, false)
+		if err != nil {
+			return MatchCount{}, err
+		}
+		return newMatchCount(res.Total), nil
+	}
+	newEval, err := queryDocEval(q, o)
+	if err != nil {
+		return MatchCount{}, err
+	}
+	res, err := c.store.CountFunc(ctx, newEval, eo, false)
+	if err != nil {
+		return MatchCount{}, err
+	}
+	return newMatchCount(res.Total), nil
+}
+
+// Page is one deterministic page of a corpus evaluation: the window
+// [offset, offset+limit) of the corpus-wide result sequence in ascending
+// DocID order (each document's matches in the engine's radix order), the
+// exact total, and the prefilter counters.
+type Page struct {
+	Matches []CorpusMatch
+	Total   MatchCount
+	Stats   EvalStats
+}
+
+// EvalPage compiles the pattern (through the corpus cache) and serves
+// one page of its corpus-wide results. The counting sweep runs through
+// the shard workers in parallel — documents outside the window
+// contribute one ranked count each, a graph build, never an enumeration
+// — and the window itself is entered with a single DAG descent, so page
+// N costs the same as page 0: offset does not buy offset Next calls.
+// The exact Total rides along for pagination UIs.
+func (c *Corpus) EvalPage(ctx context.Context, pattern string, offset uint64, limit int) (*Page, error) {
+	sp, err := c.compileCached("anchor", pattern, Compile)
+	if err != nil {
+		return nil, err
+	}
+	return c.EvalSpannerPage(ctx, sp, offset, limit)
+}
+
+// EvalSearchPage is EvalPage with substring semantics (CompileSearch).
+func (c *Corpus) EvalSearchPage(ctx context.Context, pattern string, offset uint64, limit int) (*Page, error) {
+	sp, err := c.compileCached("search", pattern, CompileSearch)
+	if err != nil {
+		return nil, err
+	}
+	return c.EvalSpannerPage(ctx, sp, offset, limit)
+}
+
+// EvalSpannerPage is EvalPage for a precompiled spanner.
+func (c *Corpus) EvalSpannerPage(ctx context.Context, sp *Spanner, offset uint64, limit int) (*Page, error) {
+	p, err := sp.compiledPlan()
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.store.PagePlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Required: sp.req}, offset, limit)
+	if err != nil {
+		return nil, err
+	}
+	page := &Page{
+		Matches: make([]CorpusMatch, 0, len(res.Matches)),
+		Total:   newMatchCount(res.Total),
+		Stats:   EvalStats{Scanned: res.Scanned, Skipped: res.Skipped, SkippedIndex: res.SkippedIndex},
+	}
+	var (
+		lastID  DocID
+		lastDoc string
+		have    bool
+	)
+	for _, r := range res.Matches {
+		if !have || r.Doc != lastID {
+			lastDoc, _ = c.store.Get(r.Doc)
+			lastID, have = r.Doc, true
+		}
+		page.Matches = append(page.Matches, CorpusMatch{
+			Doc:   r.Doc,
+			Match: Match{vars: p.Vars(), tuple: r.Tuple, doc: lastDoc},
+		})
+	}
+	return page, nil
+}

@@ -127,3 +127,44 @@ func ExampleSpanner_MatchesAt() {
 	// Output:
 	// true
 }
+
+// Paginating a corpus-wide result set: each page costs one ranked DAG
+// descent into its first document plus a counting sweep — never an
+// enumeration of the results before (or after) the window — and the
+// exact total rides along. The compiled query is cached across pages.
+func ExampleCorpus_pagination() {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(1))
+	c.AddAll(
+		"aa log",
+		"log only",
+		"aaa log",
+	)
+	const pattern = `.*x{a+}.*`
+	for offset := uint64(0); ; offset += 3 {
+		page, _ := c.EvalPage(context.Background(), pattern, offset, 3)
+		if len(page.Matches) == 0 {
+			break
+		}
+		fmt.Printf("page at %d (of %v total):\n", offset, page.Total)
+		for _, m := range page.Matches {
+			p, _ := m.Match.Span("x")
+			fmt.Println("  doc", m.Doc, "x =", p)
+		}
+	}
+	st := c.CacheStats()
+	fmt.Printf("compiles: %d, cache hits: %d\n", st.Misses, st.Hits)
+	// Output:
+	// page at 0 (of 9 total):
+	//   doc 0 x = [2,3⟩
+	//   doc 0 x = [1,3⟩
+	//   doc 0 x = [1,2⟩
+	// page at 3 (of 9 total):
+	//   doc 2 x = [3,4⟩
+	//   doc 2 x = [2,4⟩
+	//   doc 2 x = [2,3⟩
+	// page at 6 (of 9 total):
+	//   doc 2 x = [1,4⟩
+	//   doc 2 x = [1,3⟩
+	//   doc 2 x = [1,2⟩
+	// compiles: 1, cache hits: 3
+}

@@ -109,5 +109,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("police sentences (any country): %d\n", n)
+	fmt.Printf("police sentences (any country): %v\n", n)
 }

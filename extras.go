@@ -78,16 +78,29 @@ func (b *QueryBuilder) EqualAll(vars ...string) *QueryBuilder {
 	return b
 }
 
-// Count evaluates the query and returns only the number of results.
-func (q *Query) Count(doc string, opts ...Option) (int, error) {
+// Count returns the exact number of results of the query on doc.
+// Equality-free queries not forced onto the canonical plan count through
+// the ranked DP over the compiled automaton — no enumeration, cost
+// independent of the result count; queries with string equalities (whose
+// automata exist per document, Thm 5.4) and forced-canonical plans drain
+// the iterator.
+func (q *Query) Count(doc string, opts ...Option) (MatchCount, error) {
+	o := buildOptions(opts)
+	if len(q.cq.Equalities) == 0 && o.Strategy != StrategyCanonical {
+		p, err := q.compiledPlan()
+		if err != nil {
+			return MatchCount{}, err
+		}
+		return newMatchCount(p.Prepare(doc).Rank().Count()), nil
+	}
 	ms, err := q.Iterate(doc, opts...)
 	if err != nil {
-		return 0, err
+		return MatchCount{}, err
 	}
-	n := 0
+	var n uint64
 	for {
 		if _, ok := ms.Next(); !ok {
-			return n, nil
+			return MatchCount{u: n}, nil
 		}
 		n++
 	}

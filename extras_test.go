@@ -122,8 +122,8 @@ func TestQueryCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 4 {
-		t.Errorf("Count = %d, want 4", n)
+	if u, ok := n.Uint64(); !ok || u != 4 {
+		t.Errorf("Count = %v, want 4", n)
 	}
 }
 

@@ -1,0 +1,238 @@
+package corpus
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"spanjoin/internal/enum"
+	"spanjoin/internal/ranked"
+	"spanjoin/internal/span"
+)
+
+// DocCount is one document's exact result count.
+type DocCount struct {
+	Doc DocID
+	N   ranked.Count
+}
+
+// CountResult aggregates a corpus-wide count.
+type CountResult struct {
+	// Total is the exact number of result tuples across the snapshot.
+	Total ranked.Count
+	// PerDoc lists the documents with at least one result, ascending by
+	// DocID; nil unless requested.
+	PerDoc []DocCount
+	// Scanned/Skipped/SkippedIndex mirror Results' prefilter counters:
+	// prefiltered documents contribute 0 without being visited.
+	Scanned, Skipped, SkippedIndex uint64
+}
+
+// docCounter counts one document's results.
+type docCounter func(doc string) (ranked.Count, error)
+
+// CountPlan counts the plan's results over every document of the
+// snapshot without enumerating any of them: shard workers run the ranked
+// path-count DP per document (one graph build each, cost independent of
+// that document's result count) and aggregate. Documents the prefilter
+// excludes — skip-index non-candidates and literal-scan failures — count
+// as 0 without being visited. perDoc additionally collects the non-zero
+// per-document counts.
+func (s *Store) CountPlan(ctx context.Context, p *enum.Plan, opt EvalOptions, perDoc bool) (*CountResult, error) {
+	return s.countDocs(ctx, func() docCounter {
+		e := p.NewEnumerator()
+		return func(doc string) (ranked.Count, error) {
+			e.Reset(doc)
+			return e.Rank().Count(), nil
+		}
+	}, opt, perDoc)
+}
+
+// CountFunc is CountPlan for evaluators that cannot share a compiled
+// plan (per-document query plans, string-equality selections): each
+// document's count drains its DocEval — output-proportional per
+// document, but still parallel and still prefiltered.
+func (s *Store) CountFunc(ctx context.Context, newEval func() DocEval, opt EvalOptions, perDoc bool) (*CountResult, error) {
+	return s.countDocs(ctx, func() docCounter {
+		eval := newEval()
+		return func(doc string) (ranked.Count, error) {
+			var n uint64
+			err := eval(doc, func(span.Tuple) bool { n++; return true })
+			return ranked.CountOf(n), err
+		}
+	}, opt, perDoc)
+}
+
+// countDocs is the shared fan-out: shards are dealt to workers exactly
+// like run(), each worker aggregates locally and merges once at the end,
+// so the only cross-worker synchronization is one mutex acquisition per
+// worker.
+func (s *Store) countDocs(ctx context.Context, newCounter func() docCounter, opt EvalOptions, perDoc bool) (*CountResult, error) {
+	shards := s.plan(opt.Required)
+	res := &CountResult{}
+	idxSkipped, busy := planStats(shards)
+	res.Skipped += idxSkipped
+	res.SkippedIndex += idxSkipped
+	if busy == 0 {
+		return res, ctx.Err()
+	}
+	workers := clampWorkers(opt.workers(), busy)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	shardCh := dealShards(cctx, shards)
+
+	// Materialize every worker's counter before starting any goroutine:
+	// like run()'s evaluators, counter constructors may read shared state
+	// that a running worker would already be mutating.
+	counters := make([]docCounter, workers)
+	for w := range counters {
+		counters[w] = newCounter()
+	}
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		counter := counters[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				total            ranked.Count
+				docs             []DocCount
+				scanned, skipped uint64
+			)
+			for si := range shardCh {
+				es := &shards[si]
+				n := es.work()
+				for k := 0; k < n; k++ {
+					if cctx.Err() != nil {
+						break
+					}
+					pos := k
+					if es.constrained {
+						pos = int(es.cand[k])
+					}
+					doc := es.docs[pos]
+					if !opt.Required.IsEmpty() && !opt.Required.Match(doc) {
+						skipped++
+						continue
+					}
+					scanned++
+					c, err := counter(doc)
+					if err != nil {
+						fail(err)
+						break
+					}
+					if c.IsZero() {
+						continue
+					}
+					total = total.Add(c)
+					if perDoc {
+						docs = append(docs, DocCount{Doc: s.idOf(uint64(si), uint64(pos)), N: c})
+					}
+				}
+			}
+			mu.Lock()
+			res.Total = res.Total.Add(total)
+			res.PerDoc = append(res.PerDoc, docs...)
+			res.Scanned += scanned
+			res.Skipped += skipped
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(res.PerDoc, func(i, j int) bool { return res.PerDoc[i].Doc < res.PerDoc[j].Doc })
+	return res, nil
+}
+
+// PageResult is one deterministic page of a corpus evaluation.
+type PageResult struct {
+	// Matches is the window [offset, offset+limit) of the corpus-wide
+	// result sequence ordered by ascending DocID, each document's results
+	// in the engine's radix order.
+	Matches []Result
+	// Total is the exact corpus-wide result count.
+	Total                          ranked.Count
+	Scanned, Skipped, SkippedIndex uint64
+}
+
+// PagePlan serves offset/limit pagination over the snapshot in ascending
+// DocID order, in two phases: the corpus-wide counting sweep runs through
+// CountPlan's shard workers (parallel, skip-index aware, no enumeration
+// anywhere), then the window — located in the per-document prefix sums —
+// is entered with a single DAG descent and streamed from only the
+// documents it intersects. A page deep in the result sequence therefore
+// costs the same as page 0 plus the parallel counting sweep, and the
+// exact total rides along for free.
+func (s *Store) PagePlan(ctx context.Context, p *enum.Plan, opt EvalOptions, offset uint64, limit int) (*PageResult, error) {
+	cnt, err := s.CountPlan(ctx, p, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	res := &PageResult{
+		Total:        cnt.Total,
+		Scanned:      cnt.Scanned,
+		Skipped:      cnt.Skipped,
+		SkippedIndex: cnt.SkippedIndex,
+	}
+	if limit <= 0 {
+		return res, nil
+	}
+	// PerDoc is ascending by DocID — exactly the page order. Documents
+	// wholly before the window are subtracted from offset by count; the
+	// first intersecting document is entered at rank offset.
+	e := p.NewEnumerator()
+	var wbuf []int32
+	for _, dc := range cnt.PerDoc {
+		if len(res.Matches) >= limit {
+			break
+		}
+		if u, fits := dc.N.Uint64(); fits && offset >= u {
+			offset -= u // the whole document precedes the window
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		doc, ok := s.Get(dc.Doc)
+		if !ok {
+			continue // unreachable: snapshot documents are immutable
+		}
+		e.Reset(doc)
+		if offset > 0 {
+			// Only the window's first document needs the rank descent;
+			// later ones stream from their beginning.
+			w, okW := e.Rank().WordAt(offset, wbuf)
+			if !okW || !e.SeekLetters(w) {
+				continue // unreachable on a consistent rank
+			}
+			wbuf = w
+			offset = 0
+		}
+		for len(res.Matches) < limit {
+			t, okT := e.Next()
+			if !okT {
+				break
+			}
+			res.Matches = append(res.Matches, Result{Doc: dc.Doc, Tuple: t})
+		}
+	}
+	return res, nil
+}

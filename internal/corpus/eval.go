@@ -199,48 +199,39 @@ func (s *Store) EvalFunc(ctx context.Context, vars span.VarList, newEval func() 
 	return s.run(ctx, s.plan(opt.Required), vars, newEval, opt)
 }
 
-// run is the shared fan-out loop: shards are dealt to workers over a
-// channel (a worker finishing a small shard immediately picks up the
-// next), every emitted tuple is tagged with its stable DocID, and both the
-// dealer and the emit path select on the derived context so cancellation
-// aborts mid-enumeration. Shards planned with skip-index candidates visit
-// only those positions; documents failing the literal requirement are
-// counted skipped and never reach the evaluator.
-func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
-	cctx, cancel := context.WithCancel(ctx)
-	res := &Results{
-		vars:   vars,
-		ch:     make(chan Result, opt.buffer()),
-		cancel: cancel,
-	}
-
-	// Index-skipped documents are known up front: everything outside a
-	// constrained shard's candidate list.
+// planStats tallies a planned snapshot: the documents the skip index
+// excluded outright (everything outside a constrained shard's candidate
+// list) and the number of shards with work.
+func planStats(shards []evalShard) (idxSkipped uint64, busy int) {
 	for i := range shards {
 		if shards[i].constrained {
-			n := uint64(len(shards[i].docs) - len(shards[i].cand))
-			res.skipped.Add(n)
-			res.skippedIndex.Add(n)
+			idxSkipped += uint64(len(shards[i].docs) - len(shards[i].cand))
 		}
-	}
-
-	// Clamp the pool to the shards with work — the dealer never hands out
-	// empty ones, so extra workers (and their enumerator clones) would be
-	// allocated to idle forever.
-	busy := 0
-	for i := range shards {
 		if shards[i].work() > 0 {
 			busy++
 		}
 	}
-	if busy == 0 {
-		// Nothing to visit (empty snapshot, or the index excluded every
-		// document): no pool, no dealer — the stream is born exhausted.
-		cancel() // release the derived context's registration on ctx
-		close(res.ch)
-		return res
-	}
+	return idxSkipped, busy
+}
 
+// clampWorkers bounds the pool to the shards with work — the dealer never
+// hands out empty ones, so extra workers (and their enumerator clones)
+// would be allocated to idle forever.
+func clampWorkers(workers, busy int) int {
+	if workers > busy {
+		workers = busy
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// dealShards starts the dealer: non-empty shards are handed to workers
+// over the returned channel (a worker finishing a small shard immediately
+// picks up the next); the dealer selects on ctx so cancellation stops the
+// deal.
+func dealShards(ctx context.Context, shards []evalShard) <-chan int {
 	shardCh := make(chan int)
 	go func() {
 		defer close(shardCh)
@@ -250,19 +241,41 @@ func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, 
 			}
 			select {
 			case shardCh <- si:
-			case <-cctx.Done():
+			case <-ctx.Done():
 				return
 			}
 		}
 	}()
+	return shardCh
+}
 
-	workers := opt.workers()
-	if workers > busy {
-		workers = busy
+// run is the shared fan-out loop: shards are dealt to workers over a
+// channel, every emitted tuple is tagged with its stable DocID, and both
+// the dealer and the emit path select on the derived context so
+// cancellation aborts mid-enumeration. Shards planned with skip-index
+// candidates visit only those positions; documents failing the literal
+// requirement are counted skipped and never reach the evaluator.
+func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, newEval func() DocEval, opt EvalOptions) *Results {
+	cctx, cancel := context.WithCancel(ctx)
+	res := &Results{
+		vars:   vars,
+		ch:     make(chan Result, opt.buffer()),
+		cancel: cancel,
 	}
-	if workers < 1 {
-		workers = 1
+
+	idxSkipped, busy := planStats(shards)
+	res.skipped.Add(idxSkipped)
+	res.skippedIndex.Add(idxSkipped)
+	if busy == 0 {
+		// Nothing to visit (empty snapshot, or the index excluded every
+		// document): no pool, no dealer — the stream is born exhausted.
+		cancel() // release the derived context's registration on ctx
+		close(res.ch)
+		return res
 	}
+
+	shardCh := dealShards(cctx, shards)
+	workers := clampWorkers(opt.workers(), busy)
 	done := cctx.Done()
 	// Materialize every worker's evaluator before starting any goroutine:
 	// EvalFunc constructors may read shared state that a running worker

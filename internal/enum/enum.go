@@ -28,12 +28,14 @@ package enum
 
 import (
 	"context"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"spanjoin/internal/bitset"
 	"spanjoin/internal/nfa"
+	"spanjoin/internal/ranked"
 	"spanjoin/internal/span"
 	"spanjoin/internal/vsa"
 )
@@ -90,9 +92,17 @@ type Enumerator struct {
 	tgtArena      []int32
 	byLetterArena [][]int32
 
+	// rank is the memoized ranked-access DP over the current build
+	// (counting, i-th access, sampling — package ranked); built on first
+	// use, invalidated by Reset.
+	rank *ranked.Rank
+
 	// enumeration state
-	started  bool
-	done     bool
+	started bool
+	done    bool
+	// pending marks a cursor positioned by SeekLetters on a word not yet
+	// handed out: the next Next returns it without advancing first.
+	pending  bool
 	letters  []int32    // current word κ_0..κ_N
 	sets     [][]int32  // sets[i] = node indices at level i consistent with κ_0..κ_i
 	setsBuf  [][]int32  // per-level merge buffers backing multi-source sets
@@ -275,7 +285,8 @@ func PrepareRef(a *vsa.VSA, s string) (*Enumerator, error) {
 // handed out earlier remain valid (they are freshly allocated), but Levels
 // and AsNFA views of the previous document do not.
 func (e *Enumerator) Reset(s string) {
-	e.started, e.done = false, false
+	e.started, e.done, e.pending = false, false, false
+	e.rank = nil
 	e.n = len(s)
 	if e.emptyLang {
 		e.empty = true
@@ -749,6 +760,11 @@ func (e *Enumerator) Next() (t span.Tuple, ok bool) {
 	if e.empty || e.done {
 		return nil, false
 	}
+	if e.pending {
+		// SeekLetters parked the cursor on a not-yet-emitted word.
+		e.pending = false
+		return e.decode(), true
+	}
 	if !e.started {
 		e.started = true
 		if !e.minString(0) {
@@ -950,16 +966,76 @@ func (e *Enumerator) AllCtx(ctx context.Context) ([]span.Tuple, error) {
 	}
 }
 
-// Count drains the enumerator and returns the number of tuples. Like All,
-// it costs time proportional to the output.
+// Count returns the number of tuples of [[A]](s) via the ranked DP — no
+// enumeration, cost independent of the result count — and leaves the
+// cursor untouched: Count followed by All still yields every tuple.
+// Counts beyond MaxInt saturate to MaxInt; use Rank().Count() where exact
+// big counts matter.
 func (e *Enumerator) Count() int {
-	n := 0
-	for {
-		if _, ok := e.Next(); !ok {
-			return n
-		}
-		n++
+	c := e.Rank().Count()
+	if u, ok := c.Uint64(); ok && u <= uint64(math.MaxInt) {
+		return int(u)
 	}
+	return math.MaxInt
+}
+
+// Rank returns the ranked-access DP over the current build (package
+// ranked): exact result counting, direct access to the i-th tuple's word
+// and uniform word sampling, all without enumeration. It is computed on
+// first use and memoized until the next Reset; building it does not
+// disturb the enumeration cursor. The returned Rank views the current
+// graph — it is invalidated, like Levels, by Reset.
+func (e *Enumerator) Rank() *ranked.Rank {
+	if e.rank == nil {
+		e.rank = ranked.Build(graphView{e})
+	}
+	return e.rank
+}
+
+// RankBuilt reports whether the ranked DP is already memoized for the
+// current build — Rank would return it without construction. Callers
+// choosing between a DAG descent and a few Next steps use this to avoid
+// paying the build for a shallow skip.
+func (e *Enumerator) RankBuilt() bool { return e.rank != nil }
+
+// graphView adapts the built layered graph to ranked.Graph — the counting
+// view of levels and edges.
+type graphView struct{ e *Enumerator }
+
+func (g graphView) NumLevels() int {
+	if g.e.empty {
+		return 0
+	}
+	return len(g.e.levels)
+}
+
+func (g graphView) Start() ([]int32, [][]int32) {
+	return g.e.startLetters, g.e.startByLetter
+}
+
+func (g graphView) Edges(level, idx int) ([]int32, [][]int32) {
+	nd := &g.e.levels[level][idx]
+	return nd.TargetLetters, nd.TargetsByLetter
+}
+
+// SeekLetters positions the cursor exactly at the configuration word w
+// (length |s|+1): the next Next returns w's tuple, and enumeration
+// continues in radix order from there — the O(1)-descent half of
+// offset/limit pagination. The word must be one the layered graph accepts
+// (WordAt/SampleWord of the enumerator's Rank produce such words);
+// SeekLetters reports false, leaving the cursor unspecified, otherwise.
+func (e *Enumerator) SeekLetters(w []int32) bool {
+	if e.empty || len(w) != e.n+1 {
+		return false
+	}
+	for l, letter := range w {
+		e.setLevel(l, letter)
+		if len(e.sets[l]) == 0 {
+			return false
+		}
+	}
+	e.started, e.done, e.pending = true, false, true
+	return true
 }
 
 // Levels exposes the layered graph (for tests reproducing Figure 1 and the

@@ -364,10 +364,35 @@ func TestCountAndAll(t *testing.T) {
 	a := rgx.MustCompilePattern("a*x{a*}a*")
 	e1, _ := enum.Prepare(a, "aaaa")
 	e2, _ := enum.Prepare(a, "aaaa")
-	if got, want := e1.Count(), len(e2.All()); got != want {
-		t.Errorf("Count %d != |All| %d", got, want)
+	want := e2.All()
+	// Count is the ranked DP, not a drain: it must not move the cursor.
+	if got := e1.Count(); got != len(want) {
+		t.Errorf("Count %d != |All| %d", got, len(want))
 	}
-	if e1.Count() != 0 {
-		t.Error("Count after drain should be 0")
+	if got := e1.Count(); got != len(want) {
+		t.Errorf("second Count %d != |All| %d (Count must be repeatable)", got, len(want))
+	}
+	all := e1.All()
+	if len(all) != len(want) {
+		t.Fatalf("All after Count yields %d tuples, want %d — Count drained the iterator", len(all), len(want))
+	}
+	for i := range all {
+		if all[i].Compare(want[i]) != 0 {
+			t.Fatalf("tuple %d after Count: %v, want %v", i, all[i], want[i])
+		}
+	}
+	// Mid-enumeration Count still reports the full result size and leaves
+	// the remaining stream intact.
+	e3, _ := enum.Prepare(a, "aaaa")
+	first, ok := e3.Next()
+	if !ok || first.Compare(want[0]) != 0 {
+		t.Fatal("first tuple diverged")
+	}
+	if got := e3.Count(); got != len(want) {
+		t.Errorf("mid-stream Count %d != %d", got, len(want))
+	}
+	rest := e3.All()
+	if len(rest) != len(want)-1 {
+		t.Fatalf("mid-stream Count disturbed the cursor: %d tuples left, want %d", len(rest), len(want)-1)
 	}
 }

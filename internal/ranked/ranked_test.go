@@ -1,0 +1,289 @@
+package ranked_test
+
+import (
+	"math/big"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"spanjoin/internal/ranked"
+)
+
+// tnode is one test-graph node: its fan-out grouped by letter, matching
+// the enumerator's representation (letters ascending, targets ascending).
+type tnode struct {
+	letters []int32
+	targets [][]int32
+}
+
+// tgraph is a hand-built layered graph implementing ranked.Graph.
+type tgraph struct {
+	start  tnode
+	levels [][]tnode
+}
+
+func (g tgraph) NumLevels() int { return len(g.levels) }
+func (g tgraph) Start() ([]int32, [][]int32) {
+	return g.start.letters, g.start.targets
+}
+func (g tgraph) Edges(level, idx int) ([]int32, [][]int32) {
+	n := g.levels[level][idx]
+	return n.letters, n.targets
+}
+
+// bruteWords enumerates every root→leaf path of g, collects the distinct
+// letter words, and returns them in radix order — an oracle independent
+// of the DP's subset construction.
+func bruteWords(g tgraph) [][]int32 {
+	seen := map[string][]int32{}
+	var walk func(level int, node int32, word []int32)
+	walk = func(level int, node int32, word []int32) {
+		if level == len(g.levels)-1 {
+			w := append([]int32(nil), word...)
+			key := ""
+			for _, l := range w {
+				key += string(rune(l)) + ","
+			}
+			seen[key] = w
+			return
+		}
+		ls, ts := g.Edges(level, int(node))
+		for k := range ls {
+			for _, tgt := range ts[k] {
+				walk(level+1, tgt, append(word, ls[k]))
+			}
+		}
+	}
+	for k := range g.start.letters {
+		for _, tgt := range g.start.targets[k] {
+			walk(0, tgt, []int32{g.start.letters[k]})
+		}
+	}
+	words := make([][]int32, 0, len(seen))
+	for _, w := range seen {
+		words = append(words, w)
+	}
+	slices.SortFunc(words, slices.Compare)
+	return words
+}
+
+// ambiguousGraph has many distinct state paths all spelling the same
+// single-letter word — the `.*a.*` shape where raw path counting would
+// report 4 while the true result count is 1.
+func ambiguousGraph() tgraph {
+	both := []int32{0, 1}
+	return tgraph{
+		start: tnode{letters: []int32{0}, targets: [][]int32{both}},
+		levels: [][]tnode{
+			{
+				{letters: []int32{0}, targets: [][]int32{both}},
+				{letters: []int32{0}, targets: [][]int32{both}},
+			},
+			{{}, {}},
+		},
+	}
+}
+
+// branchyGraph mixes shared and distinct letters so the word set is a
+// strict subset of the path set.
+func branchyGraph() tgraph {
+	return tgraph{
+		// start: letter 0 → {0,1}, letter 1 → {2}
+		start: tnode{letters: []int32{0, 1}, targets: [][]int32{{0, 1}, {2}}},
+		levels: [][]tnode{
+			{
+				{letters: []int32{0, 2}, targets: [][]int32{{0}, {1}}},
+				{letters: []int32{0}, targets: [][]int32{{0, 1}}},
+				{letters: []int32{1, 2}, targets: [][]int32{{1}, {0, 1}}},
+			},
+			{{}, {}},
+		},
+	}
+}
+
+func TestCountDeduplicatesAmbiguousPaths(t *testing.T) {
+	r := ranked.Build(ambiguousGraph())
+	if got, ok := r.Count().Uint64(); !ok || got != 1 {
+		t.Fatalf("Count = %v, want exactly 1 (4 paths spell one word)", r.Count())
+	}
+	w, ok := r.WordAt(0, nil)
+	if !ok || len(w) != 2 || w[0] != 0 || w[1] != 0 {
+		t.Fatalf("WordAt(0) = %v, %v; want [0 0]", w, ok)
+	}
+	if _, ok := r.WordAt(1, nil); ok {
+		t.Fatal("WordAt(1) must be out of range")
+	}
+}
+
+func TestWordAtMatchesBruteForce(t *testing.T) {
+	for name, g := range map[string]tgraph{
+		"ambiguous": ambiguousGraph(),
+		"branchy":   branchyGraph(),
+	} {
+		r := ranked.Build(g)
+		want := bruteWords(g)
+		got, ok := r.Count().Uint64()
+		if !ok || got != uint64(len(want)) {
+			t.Fatalf("%s: Count = %v, brute force found %d words", name, r.Count(), len(want))
+		}
+		var buf []int32
+		for i := range want {
+			w, ok := r.WordAt(uint64(i), buf)
+			if !ok {
+				t.Fatalf("%s: WordAt(%d) out of range below Count", name, i)
+			}
+			buf = w
+			if !slices.Equal(w, want[i]) {
+				t.Fatalf("%s: WordAt(%d) = %v, want %v", name, i, w, want[i])
+			}
+		}
+		if _, ok := r.WordAt(uint64(len(want)), nil); ok {
+			t.Fatalf("%s: WordAt(Count) must be out of range", name)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	r := ranked.Build(tgraph{})
+	if !r.Count().IsZero() {
+		t.Fatalf("empty graph Count = %v, want 0", r.Count())
+	}
+	if _, ok := r.WordAt(0, nil); ok {
+		t.Fatal("WordAt on an empty rank must fail")
+	}
+	if _, ok := r.SampleWord(rand.New(rand.NewSource(1)), nil); ok {
+		t.Fatal("SampleWord on an empty rank must fail")
+	}
+}
+
+// binaryGraph is a chain of depth independent binary choices: two nodes
+// per level with letters 0 and 1, each reaching both nodes of the next
+// level. Its word set is exactly {0,1}^depth, so counts and word values
+// are known in closed form at any depth — including past uint64.
+func binaryGraph(depth int) tgraph {
+	both := []int32{0, 1}
+	lvl := []tnode{
+		{letters: []int32{0, 1}, targets: [][]int32{{0}, {1}}},
+		{letters: []int32{0, 1}, targets: [][]int32{{0}, {1}}},
+	}
+	g := tgraph{start: tnode{letters: both, targets: [][]int32{{0}, {1}}}}
+	for i := 0; i < depth-1; i++ {
+		g.levels = append(g.levels, lvl)
+	}
+	g.levels = append(g.levels, []tnode{{}, {}})
+	return g
+}
+
+// wordBits interprets a binary-graph word as a big-endian integer.
+func wordBits(w []int32) *big.Int {
+	v := new(big.Int)
+	for _, l := range w {
+		v.Lsh(v, 1)
+		v.Or(v, big.NewInt(int64(l)))
+	}
+	return v
+}
+
+func TestCountOverflowsToBig(t *testing.T) {
+	const depth = 70 // 2^70 words: past uint64
+	r := ranked.Build(binaryGraph(depth))
+	c := r.Count()
+	if _, ok := c.Uint64(); ok {
+		t.Fatalf("Count %v claims to fit uint64", c)
+	}
+	want := new(big.Int).Lsh(big.NewInt(1), depth)
+	if c.BigInt().Cmp(want) != 0 {
+		t.Fatalf("Count = %v, want 2^%d", c, depth)
+	}
+	if c.String() != want.String() {
+		t.Fatalf("String = %q, want %q", c.String(), want.String())
+	}
+
+	// The i-th word of {0,1}^depth in radix order is i in binary.
+	for _, i := range []uint64{0, 1, 5, 1<<63 + 12345} {
+		w, ok := r.WordAt(i, nil)
+		if !ok {
+			t.Fatalf("WordAt(%d) failed", i)
+		}
+		if got := wordBits(w); !got.IsUint64() || got.Uint64() != i {
+			t.Fatalf("WordAt(%d) decodes to %v", i, got)
+		}
+	}
+	for _, i := range []*big.Int{
+		new(big.Int).Lsh(big.NewInt(1), 64),   // 2^64: first index beyond uint64
+		new(big.Int).Sub(want, big.NewInt(1)), // last word
+		new(big.Int).Add(new(big.Int).Lsh(big.NewInt(3), 65), big.NewInt(7)),
+	} {
+		w, ok := r.WordAtBig(i, nil)
+		if !ok {
+			t.Fatalf("WordAtBig(%v) failed", i)
+		}
+		if got := wordBits(w); got.Cmp(i) != 0 {
+			t.Fatalf("WordAtBig(%v) decodes to %v", i, got)
+		}
+	}
+	if _, ok := r.WordAtBig(want, nil); ok {
+		t.Fatal("WordAtBig(Count) must be out of range")
+	}
+
+	// Sampling a big-count rank must still yield valid words.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 16; i++ {
+		w, ok := r.SampleWord(rng, nil)
+		if !ok || len(w) != depth {
+			t.Fatalf("SampleWord on big count: ok=%v len=%d", ok, len(w))
+		}
+	}
+}
+
+func TestCountArithmetic(t *testing.T) {
+	max := ^uint64(0)
+	c := ranked.CountOf(max).Add(ranked.CountOf(1))
+	if _, ok := c.Uint64(); ok {
+		t.Fatal("2^64 claims to fit uint64")
+	}
+	if got, want := c.String(), "18446744073709551616"; got != want {
+		t.Fatalf("2^64 = %q, want %q", got, want)
+	}
+	d := c.Add(ranked.CountOf(5)).Add(c)
+	if got, want := d.String(), "36893488147419103237"; got != want {
+		t.Fatalf("big add = %q, want %q", got, want)
+	}
+	if got := ranked.CountOf(3).Add(ranked.CountOf(4)); !func() bool {
+		u, ok := got.Uint64()
+		return ok && u == 7
+	}() {
+		t.Fatalf("3+4 = %v", got)
+	}
+}
+
+func TestSampleWordUniform(t *testing.T) {
+	g := branchyGraph()
+	r := ranked.Build(g)
+	words := bruteWords(g)
+	rng := rand.New(rand.NewSource(42))
+	hist := make(map[string]int)
+	const draws = 6000
+	var buf []int32
+	for i := 0; i < draws; i++ {
+		w, ok := r.SampleWord(rng, buf)
+		if !ok {
+			t.Fatal("SampleWord failed on a non-empty rank")
+		}
+		buf = w
+		key := ""
+		for _, l := range w {
+			key += string(rune('a' + l))
+		}
+		hist[key]++
+	}
+	if len(hist) != len(words) {
+		t.Fatalf("sampled %d distinct words, result set has %d", len(hist), len(words))
+	}
+	mean := draws / len(words)
+	for k, n := range hist {
+		if n < mean/2 || n > mean*2 {
+			t.Fatalf("word %q drawn %d times, expected ≈%d (seeded run)", k, n, mean)
+		}
+	}
+}

@@ -110,4 +110,3 @@ func analyzeAll(n Node) (exact string, req []string) {
 	}
 	return "", nil
 }
-

@@ -178,17 +178,25 @@ func (s *Spanner) Eval(doc string) ([]Match, error) {
 	}
 }
 
+// prefilterEmpty reports whether the required-literal prefilter proves
+// doc has no matches, sparing the O(n²·|doc|) graph build. It never
+// claims emptiness for a spanner whose plan fails to compile, so
+// non-functional automata still surface their error from the caller's
+// own compile path.
+func (s *Spanner) prefilterEmpty(doc string) bool {
+	if s.req.IsEmpty() || s.req.Match(doc) {
+		return false
+	}
+	_, err := s.compiledPlan()
+	return err == nil
+}
+
 // Iterate enumerates matches with polynomial delay (Theorem 3.3): the time
 // to the first match and between consecutive matches is O(n²·|doc|) for an
 // n-state spanner, independent of the result count.
 func (s *Spanner) Iterate(doc string) (*Matches, error) {
-	if !s.req.IsEmpty() && !s.req.Match(doc) {
-		// The required-literal prefilter: no match is possible, so skip the
-		// O(n²·|doc|) graph build entirely. (Non-functional automata still
-		// surface their compile error below.)
-		if _, err := s.compiledPlan(); err == nil {
-			return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
-		}
+	if s.prefilterEmpty(doc) {
+		return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
 	}
 	p, err := s.compiledPlan()
 	if err != nil {
@@ -271,13 +279,11 @@ func (st *Stream) EvalCtx(ctx context.Context, doc string) ([]Match, error) {
 // next Iterate or Eval call on the same stream.
 func (st *Stream) Iterate(doc string) (*Matches, error) {
 	sp := st.sp
-	if !sp.req.IsEmpty() && !sp.req.Match(doc) {
-		// Required-literal prefilter: skip even the graph rebuild. The
-		// plan (and with it the functionality check) is memoized on the
-		// spanner, so this costs one sync.Once read per document.
-		if _, err := sp.compiledPlan(); err == nil {
-			return &Matches{it: emptyIter{}, vars: sp.auto.Vars, doc: doc}, nil
-		}
+	// The prefilter skips even the graph rebuild; the plan (and with it
+	// the functionality check) is memoized on the spanner, so this costs
+	// one sync.Once read per document.
+	if sp.prefilterEmpty(doc) {
+		return &Matches{it: emptyIter{}, vars: sp.auto.Vars, doc: doc}, nil
 	}
 	if st.e == nil {
 		p, err := sp.compiledPlan()
@@ -345,6 +351,9 @@ type Matches struct {
 	it   core.Iterator
 	vars span.VarList
 	doc  string
+	// consumed is the index of the next match Next will return — the
+	// absolute position Skip seeks from.
+	consumed uint64
 }
 
 // Next returns the next match; ok is false when exhausted.
@@ -353,6 +362,7 @@ func (ms *Matches) Next() (Match, bool) {
 	if !ok {
 		return Match{}, false
 	}
+	ms.consumed++
 	return Match{vars: ms.vars, tuple: t, doc: ms.doc}, true
 }
 
