@@ -4,7 +4,10 @@
 // Usage:
 //
 //	spanctl eval  -p PATTERN [-d DOC | -f FILE] [-offset N] [-max N] [-json]
-//	    evaluate a regex formula and print every match
+//	              [-timeout D] [-limit N] [-budget N]
+//	    evaluate a regex formula and print every match; -timeout, -limit
+//	    and -budget bound the evaluation, failing with distinct exit
+//	    codes (3: deadline, 5: budget; a met -limit exits 0)
 //	spanctl count -p PATTERN [-d DOC | -f FILE] [-json]
 //	    print the exact number of matches without enumerating them
 //	    (ranked DP; counts beyond uint64 stay exact)
@@ -29,18 +32,54 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"spanjoin"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/vsa"
 )
+
+// Exit codes. Resource-limit failures get distinct codes so scripts can
+// tell "the query is too expensive" from "the query is wrong":
+//
+//	0  success (including a met -limit: partial output is intentional)
+//	1  generic error (bad pattern, unreadable file, evaluation failure)
+//	2  usage error
+//	3  deadline exceeded (-timeout)
+//	4  overloaded (admission control shed the query)
+//	5  work budget exceeded (-budget)
+const (
+	exitOK       = 0
+	exitErr      = 1
+	exitUsage    = 2
+	exitDeadline = 3
+	exitOverload = 4
+	exitBudget   = 5
+)
+
+// exitCode maps an error to its exit code via the typed error taxonomy.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return exitDeadline
+	case errors.Is(err, spanjoin.ErrOverloaded):
+		return exitOverload
+	case errors.Is(err, spanjoin.ErrBudgetExceeded):
+		return exitBudget
+	}
+	return exitErr
+}
 
 func main() {
 	code := run(os.Args[1:], os.Stdout, os.Stderr)
@@ -79,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "spanctl:", err)
-		return 1
+		return exitCode(err)
 	}
 	return 0
 }
@@ -87,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: spanctl <eval|count|sample|check|dot|key|query> [flags]
   eval   -p PATTERN [-d DOC | -f FILE] [-offset N] [-max N] [-json]
+         [-timeout D] [-limit N] [-budget N]
          evaluate on a document (-offset skips ranked, not by stepping)
   count  -p PATTERN [-d DOC | -f FILE] [-json]           exact match count, no enumeration
   sample -p PATTERN -n K [-seed S] [-d DOC|-f FILE] [-json]
@@ -95,7 +135,17 @@ func usage(w io.Writer) {
   dot    -p PATTERN                                      automaton as Graphviz dot
   key    -p PATTERN -x VAR                               key-attribute test
   query  -atom P [-atom P ...] [-equal x,y] [-project v,w] [-strategy s] [-d DOC|-f FILE]
-         evaluate a conjunctive query over regex atoms`)
+         [-timeout D] [-limit N] [-budget N]
+         evaluate a conjunctive query over regex atoms
+
+resource limits (eval, query):
+  -timeout D   abort after duration D (e.g. 500ms); partial output kept
+  -limit N     stop after N results (normal exhaustion, exit 0)
+  -budget N    work budget: doc bytes scanned + results delivered
+
+exit codes:
+  0 success   1 error   2 usage
+  3 deadline exceeded (-timeout)   4 overloaded   5 budget exceeded (-budget)`)
 }
 
 func readDoc(doc, file string) (string, error) {
@@ -119,6 +169,9 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	file := fs.String("f", "", "document file ('-' for stdin)")
 	offset := fs.Uint64("offset", 0, "skip the first N matches (one ranked DAG descent, not N steps)")
 	maxN := fs.Int("max", 0, "stop after N matches (0 = all)")
+	limit := fs.Int("limit", 0, "deliver at most N matches, stopping the engine early (0 = all)")
+	timeout := fs.Duration("timeout", 0, "abort after this long, exit "+fmt.Sprint(exitDeadline)+" (0 = none)")
+	budget := fs.Int("budget", 0, "work budget in engine units (doc bytes + results), exit "+fmt.Sprint(exitBudget)+" when exceeded (0 = none)")
 	asJSON := fs.Bool("json", false, "emit JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,6 +186,19 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	sp, err := spanjoin.Compile(*pattern)
 	if err != nil {
 		return err
+	}
+	if *timeout > 0 || *limit > 0 || *budget > 0 {
+		// The resilience knobs run through the corpus engine (a
+		// single-document corpus), which is where deadlines, limits and
+		// budgets are enforced with typed errors.
+		if *offset > 0 {
+			return fmt.Errorf("-offset does not combine with -timeout/-limit/-budget")
+		}
+		eff := *limit
+		if eff == 0 || (*maxN > 0 && *maxN < eff) {
+			eff = *maxN
+		}
+		return evalResilient(sp, text, *timeout, eff, *budget, *asJSON, stdout, stderr)
 	}
 	it, err := sp.Iterate(text)
 	if err != nil {
@@ -155,6 +221,59 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 		if *maxN > 0 && count >= *maxN {
 			break
 		}
+	}
+	fmt.Fprintf(stderr, "%d match(es)\n", count)
+	return nil
+}
+
+// evalResilient routes an eval through a single-document corpus, where
+// deadlines, limits and budgets are enforced with typed errors — which is
+// what gives the distinct exit codes. Semantics are unchanged: the same
+// precompiled spanner runs over the same document.
+func evalResilient(sp *spanjoin.Spanner, text string, timeout time.Duration, limit, budget int, asJSON bool, stdout, stderr io.Writer) error {
+	c := spanjoin.NewCorpus(spanjoin.WithShards(1), spanjoin.WithWorkers(1))
+	c.Add(text)
+	ms, err := c.EvalSpanner(context.Background(), sp, resilientOpts(timeout, limit, budget)...)
+	if err != nil {
+		return err
+	}
+	return drainCorpus(ms, asJSON, stdout, stderr)
+}
+
+// resilientOpts translates the CLI's resource flags into engine options.
+func resilientOpts(timeout time.Duration, limit, budget int) []spanjoin.Option {
+	var opts []spanjoin.Option
+	if timeout > 0 {
+		opts = append(opts, spanjoin.WithTimeout(timeout))
+	}
+	if limit > 0 {
+		opts = append(opts, spanjoin.WithLimit(limit))
+	}
+	if budget > 0 {
+		opts = append(opts, spanjoin.WithBudget(budget))
+	}
+	return opts
+}
+
+// drainCorpus prints a corpus stream and surfaces its typed error, so a
+// deadline or budget that fires mid-stream still keeps the partial output
+// already printed.
+func drainCorpus(ms *spanjoin.CorpusMatches, asJSON bool, stdout, stderr io.Writer) error {
+	defer ms.Close()
+	enc := json.NewEncoder(stdout)
+	count := 0
+	for {
+		m, ok := ms.Next()
+		if !ok {
+			break
+		}
+		count++
+		if err := printMatch(enc, stdout, m.Match, asJSON); err != nil {
+			return err
+		}
+	}
+	if err := ms.Err(); err != nil {
+		return err
 	}
 	fmt.Fprintf(stderr, "%d match(es)\n", count)
 	return nil
@@ -326,6 +445,9 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 	doc := fs.String("d", "", "document text")
 	file := fs.String("f", "", "document file ('-' for stdin)")
 	strategy := fs.String("strategy", "auto", "auto|canonical|automata")
+	limit := fs.Int("limit", 0, "deliver at most N results, stopping the engine early (0 = all)")
+	timeout := fs.Duration("timeout", 0, "abort after this long, exit "+fmt.Sprint(exitDeadline)+" (0 = none)")
+	budget := fs.Int("budget", 0, "work budget in engine units (doc bytes + results), exit "+fmt.Sprint(exitBudget)+" when exceeded (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -366,6 +488,32 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stderr, "plan: %v (acyclic=%v gamma-acyclic=%v)\n",
 		q.PlannedStrategy(opts...), q.IsAcyclic(), q.IsGammaAcyclic())
+	if *timeout > 0 || *limit > 0 || *budget > 0 {
+		// Resource-bounded queries run through a single-document corpus
+		// (same plan, same document) for typed deadline/limit/budget errors.
+		c := spanjoin.NewCorpus(spanjoin.WithShards(1), spanjoin.WithWorkers(1))
+		c.Add(text)
+		cms, err := c.EvalQuery(context.Background(), q,
+			append(opts, resilientOpts(*timeout, *limit, *budget)...)...)
+		if err != nil {
+			return err
+		}
+		defer cms.Close()
+		count := 0
+		for {
+			m, ok := cms.Next()
+			if !ok {
+				break
+			}
+			count++
+			fmt.Fprintln(stdout, m.Match)
+		}
+		if err := cms.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "%d result(s)\n", count)
+		return nil
+	}
 	ms, err := q.Iterate(text, opts...)
 	if err != nil {
 		return err

@@ -259,6 +259,78 @@ func TestSampleJSON(t *testing.T) {
 	}
 }
 
+func TestEvalLimitFlag(t *testing.T) {
+	// A met -limit is intentional partial output: exit 0, exactly N lines.
+	out, errw, code := runCtl(t, "eval", "-p", "a*x{a+}a*", "-d", "aaaa", "-limit", "3")
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d (stderr %q)", code, exitOK, errw)
+	}
+	if n := strings.Count(out, "x="); n != 3 {
+		t.Errorf("got %d matches, want 3 (out %q)", n, out)
+	}
+	if !strings.Contains(errw, "3 match(es)") {
+		t.Errorf("stderr = %q", errw)
+	}
+}
+
+func TestEvalTimeoutExitCode(t *testing.T) {
+	// A deadline that has effectively already passed must fail with the
+	// deadline exit code, not the generic one.
+	_, errw, code := runCtl(t, "eval", "-p", "a*x{a+}a*",
+		"-d", strings.Repeat("a", 4096), "-timeout", "1ns")
+	if code != exitDeadline {
+		t.Fatalf("exit %d, want %d (stderr %q)", code, exitDeadline, errw)
+	}
+}
+
+func TestEvalBudgetExitCode(t *testing.T) {
+	// Budget 2 cannot cover scanning a 4096-byte document.
+	_, errw, code := runCtl(t, "eval", "-p", "a*x{a+}a*",
+		"-d", strings.Repeat("a", 4096), "-budget", "2")
+	if code != exitBudget {
+		t.Fatalf("exit %d, want %d (stderr %q)", code, exitBudget, errw)
+	}
+}
+
+func TestEvalResilientMatchesPlain(t *testing.T) {
+	// The corpus-backed resilient path must print the same matches as the
+	// plain iterator path when no bound fires.
+	plain, _, _ := runCtl(t, "eval", "-p", "a*x{a+}a*", "-d", "aaaa")
+	bounded, _, code := runCtl(t, "eval", "-p", "a*x{a+}a*", "-d", "aaaa", "-limit", "100")
+	if code != exitOK {
+		t.Fatal("exit != 0")
+	}
+	if bounded != plain {
+		t.Errorf("resilient output %q != plain output %q", bounded, plain)
+	}
+}
+
+func TestEvalOffsetRejectsResilienceFlags(t *testing.T) {
+	_, _, code := runCtl(t, "eval", "-p", "x{a}", "-d", "a", "-offset", "1", "-limit", "1")
+	if code != exitErr {
+		t.Errorf("exit %d, want %d", code, exitErr)
+	}
+}
+
+func TestQueryTimeoutAndBudgetExitCodes(t *testing.T) {
+	doc := strings.Repeat("a", 4096)
+	_, errw, code := runCtl(t, "query", "-atom", "a*x{a+}a*", "-d", doc, "-timeout", "1ns")
+	if code != exitDeadline {
+		t.Fatalf("timeout: exit %d, want %d (stderr %q)", code, exitDeadline, errw)
+	}
+	_, errw, code = runCtl(t, "query", "-atom", "a*x{a+}a*", "-d", doc, "-budget", "2")
+	if code != exitBudget {
+		t.Fatalf("budget: exit %d, want %d (stderr %q)", code, exitBudget, errw)
+	}
+	out, errw, code := runCtl(t, "query", "-atom", "a*x{a+}a*", "-d", "aaaa", "-limit", "3")
+	if code != exitOK {
+		t.Fatalf("limit: exit %d, want %d (stderr %q)", code, exitOK, errw)
+	}
+	if n := strings.Count(out, "x="); n != 3 {
+		t.Errorf("limit: got %d results, want 3 (out %q)", n, out)
+	}
+}
+
 func TestEvalOffsetFlag(t *testing.T) {
 	// The full enumeration on aaaa has 10 matches; -offset 8 leaves 2.
 	full, _, _ := runCtl(t, "eval", "-p", "a*x{a+}a*", "-d", "aaaa")

@@ -2,9 +2,13 @@ package spanjoin
 
 import (
 	"context"
+	"runtime"
+	"time"
 
 	"spanjoin/internal/core"
 	"spanjoin/internal/corpus"
+	"spanjoin/internal/prefilter"
+	"spanjoin/internal/resilience"
 	"spanjoin/internal/span"
 )
 
@@ -32,11 +36,13 @@ type Corpus struct {
 
 // corpusConfig collects the options of NewCorpus.
 type corpusConfig struct {
-	shards   int
-	cacheCap int
-	workers  int
-	buffer   int
-	indexed  bool
+	shards        int
+	cacheCap      int
+	workers       int
+	buffer        int
+	indexed       bool
+	maxConcurrent int
+	maxQueue      int
 }
 
 // CorpusOption configures a Corpus at creation.
@@ -85,6 +91,9 @@ func NewCorpus(opts ...CorpusOption) *Corpus {
 	store := corpus.NewStore(cfg.shards)
 	if cfg.indexed {
 		store.EnableIndex()
+	}
+	if cfg.maxConcurrent > 0 {
+		store.SetGate(resilience.NewGate(int64(cfg.maxConcurrent), cfg.maxQueue))
 	}
 	return &Corpus{
 		store:   store,
@@ -185,10 +194,15 @@ func (m *CorpusMatches) Next() (CorpusMatch, bool) {
 func (m *CorpusMatches) Vars() []string { return append([]string(nil), m.vars...) }
 
 // Err reports the first evaluation error or the context's error after a
-// cancellation; nil after normal exhaustion or Close.
+// cancellation; nil after normal exhaustion, after Close, and after a
+// stream that ended by reaching its WithLimit cap. Failure modes are
+// typed: an exceeded WithTimeout deadline is context.DeadlineExceeded, an
+// exhausted WithBudget is ErrBudgetExceeded, and a panic anywhere in the
+// evaluation is a *PanicError — all detectable with errors.Is/errors.As.
 func (m *CorpusMatches) Err() error { return m.res.Err() }
 
-// EvalStats is a snapshot of a corpus evaluation's prefilter counters.
+// EvalStats is a snapshot of a corpus evaluation's prefilter and work
+// counters.
 type EvalStats struct {
 	// Scanned counts documents the engine actually evaluated.
 	Scanned uint64
@@ -200,6 +214,13 @@ type EvalStats struct {
 	// outright — never visited, not even for a substring scan. Zero
 	// without WithIndex.
 	SkippedIndex uint64
+	// Work is the work units spent so far — one per byte of every scanned
+	// document plus one per delivered result; the meter WithBudget is
+	// charged against.
+	Work uint64
+	// Delivered counts results the stream has handed out so far; bounded
+	// by WithLimit when one is set.
+	Delivered uint64
 }
 
 // Visited counts the documents the evaluation touched at all: scanned
@@ -214,33 +235,65 @@ func (m *CorpusMatches) Stats() EvalStats {
 		Scanned:      m.res.Scanned(),
 		Skipped:      m.res.Skipped(),
 		SkippedIndex: m.res.SkippedIndex(),
+		Work:         m.res.Work(),
+		Delivered:    m.res.Delivered(),
 	}
 }
 
-// Close aborts the evaluation and releases its worker pool. Safe to call
-// multiple times or after exhaustion.
+// Close aborts the evaluation and releases its worker pool. It is
+// idempotent and safe to call from any number of goroutines concurrently
+// — with each other, with Next, and after exhaustion.
 func (m *CorpusMatches) Close() { m.res.Close() }
+
+// newMatches wraps a result stream, arranging for an abandoned stream —
+// one the caller neither drains nor Closes — to release its worker pool
+// (and admission slot) when the wrapper becomes unreachable. The cleanup
+// attaches to the public wrapper, not the internal Results: the pool's
+// goroutines keep Results reachable, so only the wrapper's reachability
+// tracks the caller's interest.
+func (c *Corpus) newMatches(res *corpus.Results) *CorpusMatches {
+	m := &CorpusMatches{res: res, store: c.store, vars: res.Vars()}
+	runtime.AddCleanup(m, func(r *corpus.Results) { go r.Close() }, res)
+	return m
+}
+
+// evalOptions maps the public per-query options onto the corpus layer's,
+// resolving WithTimeout into an absolute deadline at call time.
+func (c *Corpus) evalOptions(req prefilter.Requirement, o core.Options) corpus.EvalOptions {
+	eo := corpus.EvalOptions{
+		Workers:  c.workers,
+		Buffer:   c.buffer,
+		Required: req,
+		Limit:    o.Limit,
+		Budget:   o.Budget,
+	}
+	if o.Timeout > 0 {
+		eo.Deadline = time.Now().Add(o.Timeout)
+	}
+	return eo
+}
 
 // Eval compiles the pattern (through the corpus cache) and evaluates it
 // over every document, streaming matches. The pattern must match whole
 // documents, like Spanner.Eval; use EvalSearch for substring semantics.
-func (c *Corpus) Eval(ctx context.Context, pattern string) (*CorpusMatches, error) {
+// Options bound the evaluation: WithTimeout, WithLimit, WithBudget.
+func (c *Corpus) Eval(ctx context.Context, pattern string, opts ...Option) (*CorpusMatches, error) {
 	sp, err := c.compileCached("anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
-	return c.EvalSpanner(ctx, sp)
+	return c.EvalSpanner(ctx, sp, opts...)
 }
 
 // EvalSearch is Eval with substring semantics: the pattern is compiled
 // unanchored (CompileSearch), cached separately from anchored compiles of
 // the same source.
-func (c *Corpus) EvalSearch(ctx context.Context, pattern string) (*CorpusMatches, error) {
+func (c *Corpus) EvalSearch(ctx context.Context, pattern string, opts ...Option) (*CorpusMatches, error) {
 	sp, err := c.compileCached("search", pattern, CompileSearch)
 	if err != nil {
 		return nil, err
 	}
-	return c.EvalSpanner(ctx, sp)
+	return c.EvalSpanner(ctx, sp, opts...)
 }
 
 // compileCached deduplicates compilation through the LRU cache, keyed by
@@ -263,17 +316,18 @@ func (c *Corpus) compileCached(mode, pattern string, compile func(string) (*Span
 // memoized on the spanner itself, so the corpus cache's Spanners carry
 // their plan across Eval calls: one compilation per cached query, then
 // pure matrix sweeps over every document the store will ever hold.
-func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner) (*CorpusMatches, error) {
+// An overloaded corpus (WithMaxConcurrent) sheds the call synchronously
+// with ErrOverloaded before any worker starts.
+func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner, opts ...Option) (*CorpusMatches, error) {
 	p, err := sp.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
-	res := c.store.EvalPlan(ctx, p, corpus.EvalOptions{
-		Workers:  c.workers,
-		Buffer:   c.buffer,
-		Required: sp.req,
-	})
-	return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
+	res, err := c.store.EvalPlan(ctx, p, c.evalOptions(sp.req, buildOptions(opts)))
+	if err != nil {
+		return nil, err
+	}
+	return c.newMatches(res), nil
 }
 
 // EvalQuery evaluates a conjunctive query over every document. Queries
@@ -299,29 +353,37 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 		if err != nil {
 			return nil, err
 		}
-		res := c.store.EvalPlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
-		return &CorpusMatches{res: res, store: c.store, vars: res.Vars()}, nil
+		res, err := c.store.EvalPlan(ctx, p, c.evalOptions(req, o))
+		if err != nil {
+			return nil, err
+		}
+		return c.newMatches(res), nil
 	}
 	newEval, err := queryDocEval(q, o)
 	if err != nil {
 		return nil, err
 	}
-	vars := q.cq.OutVars()
-	res := c.store.EvalFunc(ctx, vars, newEval, corpus.EvalOptions{Workers: c.workers, Buffer: c.buffer, Required: req})
-	return &CorpusMatches{res: res, store: c.store, vars: vars}, nil
+	res, err := c.store.EvalFunc(ctx, q.cq.OutVars(), newEval, c.evalOptions(req, o))
+	if err != nil {
+		return nil, err
+	}
+	return c.newMatches(res), nil
 }
 
 // queryDocEval builds the per-document evaluator for query plans that
 // cannot share a compiled enumerator, hoisting the document-independent
 // atom join when the automata plan applies (Thm 5.4). EvalQuery and
 // CountQuery share it.
-func queryDocEval(q *Query, o core.Options) (func() corpus.DocEval, error) {
+// Per-document plans rebuild their iterator per document, so the
+// query-liveness probe (stop) has no long build to interrupt — the emit
+// path already observes cancellation per tuple; they ignore it.
+func queryDocEval(q *Query, o core.Options) (corpus.NewDocEval, error) {
 	if o.Strategy != core.Canonical && q.cq.Plan(o) == core.Automata {
 		joined, err := q.joinedAtoms()
 		if err != nil {
 			return nil, err
 		}
-		return func() corpus.DocEval {
+		return func(func() bool) corpus.DocEval {
 			return func(doc string, emit func(span.Tuple) bool) error {
 				it, err := q.cq.EnumerateJoined(joined, doc)
 				if err != nil {
@@ -331,7 +393,7 @@ func queryDocEval(q *Query, o core.Options) (func() corpus.DocEval, error) {
 			}
 		}, nil
 	}
-	return func() corpus.DocEval {
+	return func(func() bool) corpus.DocEval {
 		return func(doc string, emit func(span.Tuple) bool) error {
 			it, err := q.cq.Enumerate(doc, o)
 			if err != nil {
@@ -357,8 +419,8 @@ func emitAll(it core.Iterator, emit func(span.Tuple) bool) error {
 
 // EvalAll is Eval materialized: all matches grouped by document. Documents
 // without matches have no entry.
-func (c *Corpus) EvalAll(ctx context.Context, pattern string) (map[DocID][]Match, error) {
-	ms, err := c.Eval(ctx, pattern)
+func (c *Corpus) EvalAll(ctx context.Context, pattern string, opts ...Option) (map[DocID][]Match, error) {
+	ms, err := c.Eval(ctx, pattern, opts...)
 	if err != nil {
 		return nil, err
 	}

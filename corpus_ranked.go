@@ -12,26 +12,28 @@ import (
 // shard workers aggregate per-document ranked counts (one graph build
 // per document, cost independent of its result count), and documents the
 // prefilter or skip index excludes count as 0 without being visited.
-func (c *Corpus) Count(ctx context.Context, pattern string) (MatchCount, error) {
+func (c *Corpus) Count(ctx context.Context, pattern string, opts ...Option) (MatchCount, error) {
 	sp, err := c.compileCached("anchor", pattern, Compile)
 	if err != nil {
 		return MatchCount{}, err
 	}
-	return c.CountSpanner(ctx, sp)
+	return c.CountSpanner(ctx, sp, opts...)
 }
 
 // CountSearch is Count with substring semantics (CompileSearch).
-func (c *Corpus) CountSearch(ctx context.Context, pattern string) (MatchCount, error) {
+func (c *Corpus) CountSearch(ctx context.Context, pattern string, opts ...Option) (MatchCount, error) {
 	sp, err := c.compileCached("search", pattern, CompileSearch)
 	if err != nil {
 		return MatchCount{}, err
 	}
-	return c.CountSpanner(ctx, sp)
+	return c.CountSpanner(ctx, sp, opts...)
 }
 
 // CountSpanner is Count for a precompiled spanner (bypassing the cache).
-func (c *Corpus) CountSpanner(ctx context.Context, sp *Spanner) (MatchCount, error) {
-	res, err := c.countSpanner(ctx, sp, false)
+// Counts honor WithTimeout and the corpus admission gate (shedding with
+// ErrOverloaded); WithLimit and WithBudget apply to result streams only.
+func (c *Corpus) CountSpanner(ctx context.Context, sp *Spanner, opts ...Option) (MatchCount, error) {
+	res, err := c.countSpanner(ctx, sp, buildOptions(opts), false)
 	if err != nil {
 		return MatchCount{}, err
 	}
@@ -40,12 +42,12 @@ func (c *Corpus) CountSpanner(ctx context.Context, sp *Spanner) (MatchCount, err
 
 // CountAll is Count broken down by document: the exact per-document
 // match counts, keyed by DocID. Documents without matches have no entry.
-func (c *Corpus) CountAll(ctx context.Context, pattern string) (map[DocID]MatchCount, error) {
+func (c *Corpus) CountAll(ctx context.Context, pattern string, opts ...Option) (map[DocID]MatchCount, error) {
 	sp, err := c.compileCached("anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.countSpanner(ctx, sp, true)
+	res, err := c.countSpanner(ctx, sp, buildOptions(opts), true)
 	if err != nil {
 		return nil, err
 	}
@@ -56,12 +58,12 @@ func (c *Corpus) CountAll(ctx context.Context, pattern string) (map[DocID]MatchC
 	return out, nil
 }
 
-func (c *Corpus) countSpanner(ctx context.Context, sp *Spanner, perDoc bool) (*corpus.CountResult, error) {
+func (c *Corpus) countSpanner(ctx context.Context, sp *Spanner, o core.Options, perDoc bool) (*corpus.CountResult, error) {
 	p, err := sp.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
-	return c.store.CountPlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Required: sp.req}, perDoc)
+	return c.store.CountPlan(ctx, p, c.evalOptions(sp.req, o), perDoc)
 }
 
 // CountQuery returns the exact corpus-wide result count of a conjunctive
@@ -72,7 +74,7 @@ func (c *Corpus) countSpanner(ctx context.Context, sp *Spanner, perDoc bool) (*c
 // parallel and still prefiltered.
 func (c *Corpus) CountQuery(ctx context.Context, q *Query, opts ...Option) (MatchCount, error) {
 	o := buildOptions(opts)
-	eo := corpus.EvalOptions{Workers: c.workers, Required: q.requirement()}
+	eo := c.evalOptions(q.requirement(), o)
 	if len(q.cq.Equalities) == 0 && o.Strategy != core.Canonical {
 		p, err := q.compiledPlan()
 		if err != nil {
@@ -112,30 +114,40 @@ type Page struct {
 // — and the window itself is entered with a single DAG descent, so page
 // N costs the same as page 0: offset does not buy offset Next calls.
 // The exact Total rides along for pagination UIs.
-func (c *Corpus) EvalPage(ctx context.Context, pattern string, offset uint64, limit int) (*Page, error) {
+func (c *Corpus) EvalPage(ctx context.Context, pattern string, offset uint64, limit int, opts ...Option) (*Page, error) {
 	sp, err := c.compileCached("anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
-	return c.EvalSpannerPage(ctx, sp, offset, limit)
+	return c.EvalSpannerPage(ctx, sp, offset, limit, opts...)
 }
 
 // EvalSearchPage is EvalPage with substring semantics (CompileSearch).
-func (c *Corpus) EvalSearchPage(ctx context.Context, pattern string, offset uint64, limit int) (*Page, error) {
+func (c *Corpus) EvalSearchPage(ctx context.Context, pattern string, offset uint64, limit int, opts ...Option) (*Page, error) {
 	sp, err := c.compileCached("search", pattern, CompileSearch)
 	if err != nil {
 		return nil, err
 	}
-	return c.EvalSpannerPage(ctx, sp, offset, limit)
+	return c.EvalSpannerPage(ctx, sp, offset, limit, opts...)
 }
 
-// EvalSpannerPage is EvalPage for a precompiled spanner.
-func (c *Corpus) EvalSpannerPage(ctx context.Context, sp *Spanner, offset uint64, limit int) (*Page, error) {
+// EvalSpannerPage is EvalPage for a precompiled spanner. WithTimeout
+// bounds both phases — the counting sweep and the page stream — via a
+// derived context; WithLimit/WithBudget do not apply (the page's window
+// is the limit).
+func (c *Corpus) EvalSpannerPage(ctx context.Context, sp *Spanner, offset uint64, limit int, opts ...Option) (*Page, error) {
+	o := buildOptions(opts)
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+		o.Timeout = 0 // the derived context carries the deadline
+	}
 	p, err := sp.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.store.PagePlan(ctx, p, corpus.EvalOptions{Workers: c.workers, Required: sp.req}, offset, limit)
+	res, err := c.store.PagePlan(ctx, p, c.evalOptions(sp.req, o), offset, limit)
 	if err != nil {
 		return nil, err
 	}

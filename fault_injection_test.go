@@ -1,0 +1,225 @@
+//go:build failpoints
+
+package spanjoin_test
+
+// Fault-injection suite: runs under `go test -tags failpoints`, arming
+// the resilience failpoints compiled into the corpus pipeline and
+// asserting that every injected fault — panic, delay, cancellation, at
+// every stage — degrades into its typed error at the public API, without
+// leaking the worker pool and without disturbing concurrent queries.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spanjoin"
+	"spanjoin/internal/leakcheck"
+	"spanjoin/internal/resilience"
+)
+
+// TestInjectedWorkerPanic poisons one document at the worker stage and
+// checks the acceptance property end to end at the public API: the query
+// that touches it gets *PanicError (naming the document), concurrent
+// queries that skip it by prefilter finish cleanly, the process lives.
+func TestInjectedWorkerPanic(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	for i := 0; i < 24; i++ {
+		c.Add(strings.Repeat("ab", 8))
+	}
+	poisonID := c.Add("zzzz")
+	poison, _ := c.Doc(poisonID)
+
+	disarm := resilience.Enable(resilience.FailWorkerDoc, resilience.PanicOnArg(poison, "injected"))
+	defer disarm()
+
+	// Healthy queries require the literal "ab", so the prefilter skips the
+	// poisoned document before the failpoint stage.
+	var wg sync.WaitGroup
+	healthyErrs := make([]error, 3)
+	for i := range healthyErrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ms, err := c.EvalSearch(context.Background(), `x{(ab)+}`)
+			if err != nil {
+				healthyErrs[i] = err
+				return
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+			healthyErrs[i] = ms.Err()
+		}()
+	}
+
+	ms, err := c.EvalSearch(context.Background(), `x{z+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+	}
+	var pe *spanjoin.PanicError
+	if err := ms.Err(); !errors.As(err, &pe) {
+		t.Fatalf("poisoned query Err = %v, want *PanicError", err)
+	}
+	if pe.Doc != uint64(poisonID) {
+		t.Fatalf("PanicError.Doc = %d, want %d", pe.Doc, poisonID)
+	}
+
+	wg.Wait()
+	for i, err := range healthyErrs {
+		if err != nil {
+			t.Fatalf("concurrent healthy query %d: %v", i, err)
+		}
+	}
+}
+
+// TestInjectedCacheFillPanic: a panic inside the compiled-query cache
+// fill surfaces as a synchronous typed error, releases singleflight
+// waiters, and does not poison the key.
+func TestInjectedCacheFillPanic(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	c.Add("abab")
+	disarm := resilience.Enable(resilience.FailCacheFill, resilience.PanicAction("compile exploded"))
+	_, err := c.EvalSearch(context.Background(), `x{(ab)+}`)
+	var pe *spanjoin.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	disarm()
+	ms, err := c.EvalSearch(context.Background(), `x{(ab)+}`)
+	if err != nil {
+		t.Fatalf("after disarm: %v", err)
+	}
+	ms.Close()
+}
+
+// TestInjectedPlanPanic: a panic during snapshot planning (the index
+// lookup stage) fails the call synchronously via the store-boundary
+// recovery, not the process.
+func TestInjectedPlanPanic(t *testing.T) {
+	c := spanjoin.NewCorpus(spanjoin.WithIndex())
+	c.Add("abab")
+	sp := spanjoin.MustCompile(`.*x{(ab)+}.*`)
+	disarm := resilience.Enable(resilience.FailPlanCandidates, resilience.PanicAction("index exploded"))
+	defer disarm()
+	_, err := c.EvalSpanner(context.Background(), sp)
+	var pe *spanjoin.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}
+
+// TestInjectedCountPanic: the count pipeline converts an injected
+// per-document panic into the same typed error.
+func TestInjectedCountPanic(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	for i := 0; i < 8; i++ {
+		c.Add("abab")
+	}
+	c.Add("zz")
+	disarm := resilience.Enable(resilience.FailCountDoc, resilience.PanicOnArg("zz", "injected"))
+	defer disarm()
+	_, err := c.CountSearch(context.Background(), `x{(ab|z)+}`)
+	var pe *spanjoin.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}
+
+// TestInjectedDealerDelay: a slow dealer plus a short deadline — the
+// deadline must fire, type correctly, and leave no goroutines behind.
+func TestInjectedDealerDelay(t *testing.T) {
+	disarm := resilience.Enable(resilience.FailDealer, resilience.SleepAction(30*time.Millisecond))
+	defer disarm()
+	leakcheck.Check(t, func() {
+		c := spanjoin.NewCorpus(spanjoin.WithShards(4))
+		for i := 0; i < 32; i++ {
+			c.Add(strings.Repeat("ab", 8))
+		}
+		ms, err := c.EvalSearch(context.Background(), `x{(ab)+}`, spanjoin.WithTimeout(5*time.Millisecond))
+		if err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want DeadlineExceeded", err)
+			}
+			return
+		}
+		for {
+			if _, ok := ms.Next(); !ok {
+				break
+			}
+		}
+		if err := ms.Err(); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Err = %v, want context.DeadlineExceeded", err)
+		}
+	})
+}
+
+// TestInjectedCancellation: a failpoint that cancels the query's own
+// context mid-flight surfaces as context.Canceled, cleanly.
+func TestInjectedCancellation(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	for i := 0; i < 32; i++ {
+		c.Add(strings.Repeat("ab", 8))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	disarm := resilience.Enable(resilience.FailWorkerDoc, func(any) { cancel() })
+	defer disarm()
+	leakcheck.Check(t, func() {
+		ms, err := c.EvalSearch(ctx, `x{(ab)+}`)
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want Canceled", err)
+			}
+			return
+		}
+		for {
+			if _, ok := ms.Next(); !ok {
+				break
+			}
+		}
+		if err := ms.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Err = %v, want context.Canceled", err)
+		}
+	})
+}
+
+// TestInjectedDealerPanic: a panic in the dealer goroutine fails the
+// query with *PanicError (NoDoc — not attributable to one document) and
+// shuts the pool down.
+func TestInjectedDealerPanic(t *testing.T) {
+	disarm := resilience.Enable(resilience.FailDealer, resilience.PanicAction("dealer exploded"))
+	defer disarm()
+	leakcheck.Check(t, func() {
+		c := spanjoin.NewCorpus(spanjoin.WithShards(4))
+		for i := 0; i < 16; i++ {
+			c.Add(strings.Repeat("ab", 8))
+		}
+		ms, err := c.EvalSearch(context.Background(), `x{(ab)+}`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := ms.Next(); !ok {
+				break
+			}
+		}
+		var pe *spanjoin.PanicError
+		if err := ms.Err(); !errors.As(err, &pe) {
+			t.Fatalf("Err = %v, want *PanicError", err)
+		}
+		if pe.Doc != resilience.NoDoc {
+			t.Fatalf("dealer panic blamed doc %d, want NoDoc", pe.Doc)
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package alloctest
+
+// RaceEnabled reports whether the race detector is instrumenting this
+// build; see race_on.go for the other half of the pair.
+const RaceEnabled = false

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"spanjoin/internal/enum"
 	"spanjoin/internal/rel"
@@ -45,6 +46,16 @@ type Options struct {
 	// polynomially bounded without running the key-attribute test
 	// (|[[α]](s)| ≤ (N+1)^(2v)). Default 1.
 	PolyBoundVarLimit int
+
+	// Timeout, Limit and Budget are the resilience knobs of corpus
+	// evaluations (ignored by single-document Iterate/Evaluate, whose
+	// callers hold the iterator and can cancel via IterateCtx):
+	// Timeout bounds the whole evaluation wall-clock, Limit caps delivered
+	// results, Budget caps work units (document bytes scanned + results
+	// delivered). Zero values mean unbounded.
+	Timeout time.Duration
+	Limit   uint64
+	Budget  uint64
 }
 
 func (o Options) varLimit() int {

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"spanjoin/internal/resilience"
 )
 
 // Cache is an LRU cache of compiled query artifacts keyed by source text
@@ -73,7 +75,19 @@ func (c *Cache) Get(key string, compile func() (any, error)) (any, error) {
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	f.val, f.err = compile()
+	func() {
+		// A panicking compile must not strand the waiters blocked on
+		// f.done (or leave the inflight entry wedged): recover it into a
+		// typed error that every waiter sees. Like real compile errors it
+		// is never cached, so the key is not poisoned.
+		defer func() {
+			if p := recover(); p != nil {
+				f.val, f.err = nil, resilience.NewPanicError(resilience.NoDoc, p)
+			}
+		}()
+		resilience.Inject(resilience.FailCacheFill, key)
+		f.val, f.err = compile()
+	}()
 
 	c.mu.Lock()
 	delete(c.inflight, key)

@@ -2,11 +2,13 @@ package corpus
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 
 	"spanjoin/internal/enum"
 	"spanjoin/internal/ranked"
+	"spanjoin/internal/resilience"
 	"spanjoin/internal/span"
 )
 
@@ -38,9 +40,13 @@ type docCounter func(doc string) (ranked.Count, error)
 // excludes — skip-index non-candidates and literal-scan failures — count
 // as 0 without being visited. perDoc additionally collects the non-zero
 // per-document counts.
-func (s *Store) CountPlan(ctx context.Context, p *enum.Plan, opt EvalOptions, perDoc bool) (*CountResult, error) {
-	return s.countDocs(ctx, func() docCounter {
+func (s *Store) CountPlan(ctx context.Context, p *enum.Plan, opt EvalOptions, perDoc bool) (res *CountResult, err error) {
+	defer resilience.RecoverTo(&err)
+	return s.countDocs(ctx, func(stop func() bool) docCounter {
 		e := p.NewEnumerator()
+		// A deadline that fires mid-build abandons the sweep (the count
+		// comes up 0, but the whole count errors out anyway).
+		e.SetInterrupt(stop)
 		return func(doc string) (ranked.Count, error) {
 			e.Reset(doc)
 			return e.Rank().Count(), nil
@@ -52,9 +58,10 @@ func (s *Store) CountPlan(ctx context.Context, p *enum.Plan, opt EvalOptions, pe
 // plan (per-document query plans, string-equality selections): each
 // document's count drains its DocEval — output-proportional per
 // document, but still parallel and still prefiltered.
-func (s *Store) CountFunc(ctx context.Context, newEval func() DocEval, opt EvalOptions, perDoc bool) (*CountResult, error) {
-	return s.countDocs(ctx, func() docCounter {
-		eval := newEval()
+func (s *Store) CountFunc(ctx context.Context, newEval NewDocEval, opt EvalOptions, perDoc bool) (res *CountResult, err error) {
+	defer resilience.RecoverTo(&err)
+	return s.countDocs(ctx, func(stop func() bool) docCounter {
+		eval := newEval(stop)
 		return func(doc string) (ranked.Count, error) {
 			var n uint64
 			err := eval(doc, func(span.Tuple) bool { n++; return true })
@@ -67,7 +74,19 @@ func (s *Store) CountFunc(ctx context.Context, newEval func() DocEval, opt EvalO
 // like run(), each worker aggregates locally and merges once at the end,
 // so the only cross-worker synchronization is one mutex acquisition per
 // worker.
-func (s *Store) countDocs(ctx context.Context, newCounter func() docCounter, opt EvalOptions, perDoc bool) (*CountResult, error) {
+func (s *Store) countDocs(ctx context.Context, newCounter func(stop func() bool) docCounter, opt EvalOptions, perDoc bool) (*CountResult, error) {
+	cctx, cancel := opt.evalCtx(ctx)
+	defer cancel()
+	stop := func() bool { return cctx.Err() != nil }
+	if g := s.gate; g != nil {
+		// Counts spin the same worker pools as streams, so they pass the
+		// same admission gate; the queue wait respects the deadline.
+		if err := g.Acquire(cctx, 1); err != nil {
+			return nil, err
+		}
+		defer g.Release(1)
+	}
+
 	shards := s.plan(opt.Required)
 	res := &CountResult{}
 	idxSkipped, busy := planStats(shards)
@@ -76,19 +95,7 @@ func (s *Store) countDocs(ctx context.Context, newCounter func() docCounter, opt
 	if busy == 0 {
 		return res, ctx.Err()
 	}
-	workers := clampWorkers(opt.workers(), busy)
 
-	cctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	shardCh := dealShards(cctx, shards)
-
-	// Materialize every worker's counter before starting any goroutine:
-	// like run()'s evaluators, counter constructors may read shared state
-	// that a running worker would already be mutating.
-	counters := make([]docCounter, workers)
-	for w := range counters {
-		counters[w] = newCounter()
-	}
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -102,11 +109,39 @@ func (s *Store) countDocs(ctx context.Context, newCounter func() docCounter, opt
 		mu.Unlock()
 		cancel()
 	}
+
+	// Materialize every worker's counter before starting any goroutine:
+	// like run()'s evaluators, counter constructors may read shared state
+	// that a running worker would already be mutating; a constructor panic
+	// fails the count, not the process.
+	workers := clampWorkers(opt.workers(), busy)
+	counters := make([]docCounter, workers)
+	if err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = resilience.NewPanicError(resilience.NoDoc, p)
+			}
+		}()
+		for w := range counters {
+			counters[w] = newCounter(stop)
+		}
+		return nil
+	}(); err != nil {
+		return nil, err
+	}
+
+	shardCh := dealShards(cctx, shards, fail)
 	for w := 0; w < workers; w++ {
 		counter := counters[w]
 		wg.Add(1)
 		go func() {
-			defer wg.Done()
+			cur := resilience.NoDoc
+			defer func() {
+				if p := recover(); p != nil {
+					fail(resilience.NewPanicError(cur, p))
+				}
+				wg.Done()
+			}()
 			var (
 				total            ranked.Count
 				docs             []DocCount
@@ -129,11 +164,14 @@ func (s *Store) countDocs(ctx context.Context, newCounter func() docCounter, opt
 						continue
 					}
 					scanned++
+					cur = uint64(s.idOf(uint64(si), uint64(pos)))
+					resilience.Inject(resilience.FailCountDoc, doc)
 					c, err := counter(doc)
 					if err != nil {
 						fail(err)
 						break
 					}
+					cur = resilience.NoDoc
 					if c.IsZero() {
 						continue
 					}
@@ -158,6 +196,10 @@ func (s *Store) countDocs(ctx context.Context, newCounter func() docCounter, opt
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if errors.Is(cctx.Err(), context.DeadlineExceeded) {
+		// The per-count deadline (EvalOptions.Deadline) fired.
+		return nil, context.DeadlineExceeded
+	}
 	sort.Slice(res.PerDoc, func(i, j int) bool { return res.PerDoc[i].Doc < res.PerDoc[j].Doc })
 	return res, nil
 }
@@ -181,7 +223,8 @@ type PageResult struct {
 // documents it intersects. A page deep in the result sequence therefore
 // costs the same as page 0 plus the parallel counting sweep, and the
 // exact total rides along for free.
-func (s *Store) PagePlan(ctx context.Context, p *enum.Plan, opt EvalOptions, offset uint64, limit int) (*PageResult, error) {
+func (s *Store) PagePlan(ctx context.Context, p *enum.Plan, opt EvalOptions, offset uint64, limit int) (page *PageResult, err error) {
+	defer resilience.RecoverTo(&err)
 	cnt, err := s.CountPlan(ctx, p, opt, true)
 	if err != nil {
 		return nil, err

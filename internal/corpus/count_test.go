@@ -102,7 +102,7 @@ func TestCountFuncDrains(t *testing.T) {
 	for i, d := range docs {
 		ids[i] = s.Add(d)
 	}
-	newEval := func() DocEval {
+	newEval := func(func() bool) DocEval {
 		return func(doc string, emit func(span.Tuple) bool) error {
 			for range doc {
 				if !emit(span.Tuple{}) {

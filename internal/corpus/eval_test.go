@@ -158,7 +158,7 @@ func TestEvalFuncErrorAborts(t *testing.T) {
 		s.Add(fmt.Sprintf("doc-%d", i))
 	}
 	boom := errors.New("doc exploded")
-	newEval := func() DocEval {
+	newEval := func(func() bool) DocEval {
 		return func(doc string, emit func(span.Tuple) bool) error {
 			if doc == "doc-7" {
 				return boom
@@ -166,7 +166,10 @@ func TestEvalFuncErrorAborts(t *testing.T) {
 			return nil
 		}
 	}
-	res := s.EvalFunc(context.Background(), span.NewVarList("x"), newEval, EvalOptions{})
+	res, err := s.EvalFunc(context.Background(), span.NewVarList("x"), newEval, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for {
 		if _, ok := res.Next(); !ok {
 			break

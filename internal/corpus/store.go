@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"spanjoin/internal/prefilter"
+	"spanjoin/internal/resilience"
 )
 
 // DocID identifies a document in a Store. IDs are stable for the lifetime
@@ -37,6 +38,27 @@ type DocID uint64
 type Store struct {
 	shards []shard
 	rr     atomic.Uint64 // round-robin shard chooser
+
+	// gate, when set, is the store's admission controller: every
+	// evaluation and count acquires one slot for the lifetime of its
+	// worker pool, so gate capacity bounds live pools (goroutines, arena
+	// memory), not merely query starts. Set once before the store serves
+	// queries; nil means unbounded admission.
+	gate *resilience.Gate
+}
+
+// SetGate installs the store's admission gate. Call before the store
+// serves queries — installation is not synchronized with running
+// evaluations (they hold whatever gate they acquired at start).
+func (s *Store) SetGate(g *resilience.Gate) { s.gate = g }
+
+// GateStats reports the admission gate's counters; zero values when no
+// gate is installed.
+func (s *Store) GateStats() resilience.GateStats {
+	if s.gate == nil {
+		return resilience.GateStats{}
+	}
+	return s.gate.Stats()
 }
 
 type shard struct {
@@ -153,6 +175,8 @@ func (s *Store) plan(req prefilter.Requirement) []evalShard {
 	out := make([]evalShard, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
+		// Outside the shard lock: an injected panic must not poison mu.
+		resilience.Inject(resilience.FailPlanCandidates, i)
 		sh.mu.RLock()
 		es := evalShard{docs: sh.docs[:len(sh.docs):len(sh.docs)]}
 		if sh.idx != nil && !req.IsEmpty() {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spanjoin/internal/alloctest"
 	"spanjoin/internal/oracle"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/span"
@@ -165,9 +166,6 @@ func TestCloneMatchesFreshPrepare(t *testing.T) {
 // TestResetAllocsSteadyState: repeated documents through one enumerator
 // should allocate almost nothing per document beyond the returned tuples.
 func TestResetAllocsSteadyState(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race instrumentation distorts AllocsPerRun")
-	}
 	a := rgx.MustCompilePattern(".*x{a+}.*")
 	s := randDoc(rand.New(rand.NewSource(5)), 64)
 	e, err := Prepare(a, s)
@@ -186,7 +184,7 @@ func TestResetAllocsSteadyState(t *testing.T) {
 		e.Reset(s)
 		drain()
 	}
-	avg := testing.AllocsPerRun(20, func() {
+	avg := alloctest.Run(t, 20, func() {
 		e.Reset(s)
 		drain()
 	})

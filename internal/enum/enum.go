@@ -97,6 +97,14 @@ type Enumerator struct {
 	// use, invalidated by Reset.
 	rank *ranked.Rank
 
+	// stop, when set, is polled every interruptStride document positions
+	// during graph builds; returning true abandons the build with an empty
+	// result. It is the deadline/budget escape hatch for huge documents:
+	// the per-tuple paths are already bounded (the corpus emit selects on
+	// the context), but a single build is O(n²·|s|) and would otherwise
+	// run to completion after its query is dead. Not copied by Clone.
+	stop func() bool
+
 	// enumeration state
 	started bool
 	done    bool
@@ -321,6 +329,27 @@ func (e *Enumerator) Clone() *Enumerator {
 	return c
 }
 
+// SetInterrupt installs an amortized build-interrupt check: f is polled
+// every interruptStride positions while the layered graph is built, and a
+// true return abandons the build, leaving the enumerator empty for the
+// current document. Corpus workers point f at their query's context (and
+// budget), so a deadline that fires mid-build on a pathological document
+// stops the O(n²·|s|) sweep instead of letting it run to completion. The
+// check is branch-cheap and allocation-free: with f == nil (the default)
+// the fast path is unchanged. SetInterrupt(nil) uninstalls.
+func (e *Enumerator) SetInterrupt(f func() bool) { e.stop = f }
+
+// interruptStride is how many document positions a build processes
+// between interrupt polls — coarse enough that the poll (an atomic ctx
+// check, typically) vanishes against the per-position matrix multiply,
+// fine enough that a dead query stops within tens of microseconds.
+const interruptStride = 4096
+
+// interrupted polls the installed interrupt at the amortized stride.
+func (e *Enumerator) interrupted(i int) bool {
+	return e.stop != nil && i%interruptStride == interruptStride-1 && e.stop()
+}
+
 // build constructs the layered graph for s into e's arenas. It sets e.empty
 // when [[A]](s) = ∅. Plans compiled without a table (PrepareOnce, the
 // differential reference) take the per-transition pass.
@@ -352,6 +381,10 @@ func (e *Enumerator) buildMatrix(s string) {
 	cur.CopyFrom(e.cl.VEB.Row(int(t.Init)))
 	sc.pushLevel(0, cur)
 	for i := 0; i < N; i++ {
+		if e.interrupted(i) {
+			e.markEmpty()
+			return
+		}
 		m := tt.Mat(s[i])
 		if m == nil {
 			// No transition anywhere accepts this byte: no run consumes it.
@@ -373,6 +406,10 @@ func (e *Enumerator) buildMatrix(s string) {
 	// level i+1.
 	sc.alive.Row(N).Set(t.Final)
 	for i := N - 1; i >= 0; i-- {
+		if e.interrupted(i) {
+			e.markEmpty()
+			return
+		}
 		aliveCur, aliveNext := sc.alive.Row(i), sc.alive.Row(i+1)
 		m := tt.Mat(s[i])
 		for _, p := range sc.levelStates(i) {
@@ -396,6 +433,10 @@ func (e *Enumerator) buildMatrix(s string) {
 	e.tgtArena = e.tgtArena[:0]
 	e.byLetterArena = e.byLetterArena[:0]
 	for i := 0; i < N; i++ {
+		if e.interrupted(i) {
+			e.markEmpty()
+			return
+		}
 		for _, q := range sc.levelStates(i + 1) {
 			sc.stateIdx[q] = -1
 		}
@@ -480,6 +521,10 @@ func (e *Enumerator) buildTransitions(s string) {
 	cur.CopyFrom(cl.VEB.Row(int(t.Init)))
 	sc.pushLevel(0, cur)
 	for i := 0; i < N; i++ {
+		if e.interrupted(i) {
+			e.markEmpty()
+			return
+		}
 		next := sc.fwd.Row(i + 1)
 		lvlStart := int32(len(sc.edgeOwner))
 		for _, p := range sc.levelStates(i) {

@@ -1,0 +1,54 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. It
+// compares runtime.NumGoroutine before and after the test body, retrying
+// the after-count for a grace period: goroutine teardown is asynchronous
+// (worker pools observe cancellation, deferred recovers run, channels
+// close), so a single instantaneous sample would flake.
+//
+// The count-based approach deliberately tolerates unrelated background
+// goroutines that exist before the check starts (the test runner's own,
+// timer goroutines); it only catches what the checked body started and
+// failed to stop.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// grace is how long Check waits for stragglers to exit before declaring
+// a leak. Generous on purpose: a real leak waits forever, so the cost of
+// a large grace is paid only on failure.
+const grace = 5 * time.Second
+
+// Check runs f and fails the test if goroutines started by f are still
+// alive after a grace period. Call it around the whole scenario under
+// test, including the cleanup calls whose effect it is asserting:
+//
+//	leakcheck.Check(t, func() {
+//	    ms, _ := c.Eval(ctx, pattern)
+//	    ms.Close()
+//	})
+func Check(t *testing.T, f func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	f()
+	deadline := time.Now().Add(grace)
+	var after int
+	for {
+		// Encourage cleanup-based teardown paths (abandoned streams) as
+		// well as ordinary scheduling of exiting goroutines.
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	t.Fatalf("goroutine leak: %d before, %d after %v grace\n%s", before, after, grace, buf)
+}

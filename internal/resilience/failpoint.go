@@ -1,0 +1,54 @@
+package resilience
+
+import "time"
+
+// Failpoints are named hooks compiled into the corpus pipeline (shard
+// workers, the dealer, cache fill, index lookup) that tests use to
+// deterministically inject panics, delays and cancellations at every
+// stage. They are gated behind the `failpoints` build tag: in ordinary
+// builds Inject compiles to an empty function and the hooks cost nothing;
+// under `go test -tags failpoints` an armed failpoint runs its registered
+// Action with the hook's argument (the document under evaluation, the
+// cache key, …).
+//
+// The canonical hook names are collected here so tests and call sites
+// cannot drift apart.
+const (
+	// FailWorkerDoc fires in a shard worker immediately before a document
+	// is evaluated; arg is the document text.
+	FailWorkerDoc = "corpus/worker/doc"
+	// FailDealer fires in the dealer goroutine before each shard is dealt;
+	// arg is the shard index.
+	FailDealer = "corpus/dealer"
+	// FailCacheFill fires inside a compiled-query cache miss, before the
+	// compile function runs; arg is the cache key.
+	FailCacheFill = "corpus/cache/fill"
+	// FailPlanCandidates fires during snapshot planning, before a shard's
+	// skip-index candidate lookup; arg is the shard index.
+	FailPlanCandidates = "corpus/plan/candidates"
+	// FailCountDoc fires in a count worker immediately before a document
+	// is counted; arg is the document text.
+	FailCountDoc = "corpus/count/doc"
+)
+
+// Action is the behavior of an armed failpoint; it receives the hook
+// call's argument. Returning normally resumes the hooked code path.
+type Action func(arg any)
+
+// PanicAction panics with v — the poisoned-document simulator.
+func PanicAction(v any) Action { return func(any) { panic(v) } }
+
+// SleepAction delays the hooked path by d — the slow-stage simulator used
+// to force deadline and cancellation windows open.
+func SleepAction(d time.Duration) Action { return func(any) { time.Sleep(d) } }
+
+// PanicOnArg panics with v when the hook argument equals match, so one
+// specific document (or key, or shard) can be poisoned while the rest of
+// the pipeline stays healthy.
+func PanicOnArg(match any, v any) Action {
+	return func(arg any) {
+		if arg == match {
+			panic(v)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !failpoints
+
+package resilience
+
+// FailpointsEnabled reports whether this build compiles failpoint hooks
+// in; without the `failpoints` build tag Inject is an empty function the
+// compiler inlines away (the generic signature keeps hook arguments from
+// even being boxed).
+const FailpointsEnabled = false
+
+// Inject is a no-op in ordinary builds.
+func Inject[T any](name string, arg T) {}
+
+// Enable is a no-op in ordinary builds; the returned disarm function does
+// nothing. Tests that depend on injection must carry the `failpoints`
+// build tag so they only run when the hooks exist.
+func Enable(name string, a Action) (disarm func()) { return func() {} }

@@ -1,0 +1,57 @@
+//go:build failpoints
+
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FailpointsEnabled reports whether this build compiles failpoint hooks
+// in; this is the `failpoints`-tagged build, so armed hooks fire.
+const FailpointsEnabled = true
+
+// armed counts registered failpoints: the Inject fast path is one atomic
+// load when nothing is armed, so even instrumented builds pay ~nothing
+// until a test arms a hook.
+var armed atomic.Int32
+
+var (
+	fpMu sync.RWMutex
+	fps  = map[string]Action{}
+)
+
+// Inject runs the action armed under name, if any, passing it arg. Hot
+// paths call it with their live value (the document, the cache key); the
+// value is boxed only after the armed check.
+func Inject[T any](name string, arg T) {
+	if armed.Load() == 0 {
+		return
+	}
+	fpMu.RLock()
+	a := fps[name]
+	fpMu.RUnlock()
+	if a != nil {
+		a(any(arg))
+	}
+}
+
+// Enable arms name with the action and returns a disarm function. Arming
+// an already-armed name replaces its action; disarm removes whatever is
+// currently armed under the name.
+func Enable(name string, a Action) (disarm func()) {
+	fpMu.Lock()
+	if _, ok := fps[name]; !ok {
+		armed.Add(1)
+	}
+	fps[name] = a
+	fpMu.Unlock()
+	return func() {
+		fpMu.Lock()
+		if _, ok := fps[name]; ok {
+			delete(fps, name)
+			armed.Add(-1)
+		}
+		fpMu.Unlock()
+	}
+}

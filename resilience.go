@@ -1,0 +1,98 @@
+package spanjoin
+
+import (
+	"time"
+
+	"spanjoin/internal/core"
+	"spanjoin/internal/resilience"
+)
+
+// Resilience surface of the engine: typed failure modes, per-query
+// limits, and corpus admission control. See the README's "Operational
+// limits and failure modes" section for how they compose.
+
+// ErrOverloaded is returned synchronously by corpus evaluations and
+// counts when the admission gate (WithMaxConcurrent) is at capacity and
+// its wait queue (WithMaxQueue) is full: the query is shed before any
+// worker is spawned or any document touched. Detect with errors.Is.
+var ErrOverloaded = resilience.ErrOverloaded
+
+// ErrBudgetExceeded surfaces on a stream's Err (or from a count) when the
+// evaluation ran out of its work budget (WithBudget). Results delivered
+// before the budget ran out are valid partial output. Detect with
+// errors.Is.
+var ErrBudgetExceeded = resilience.ErrBudgetExceeded
+
+// PanicError is a panic recovered inside the engine — in a corpus worker,
+// the shard dealer, a cache fill, or an evaluator constructor — converted
+// into an error on the failing query's stream. One poisoned document
+// fails its own query; concurrent queries and the process are unaffected.
+// Detect with errors.As; Doc names the offending document when the panic
+// struck inside a per-document evaluation (resilience.NoDoc otherwise),
+// and Stack carries the recovered goroutine's stack trace.
+type PanicError = resilience.PanicError
+
+// GateStats is a snapshot of the admission gate's counters.
+type GateStats = resilience.GateStats
+
+// GateStats reports the corpus admission gate's counters: running
+// evaluations, queued ones, and the cumulative number shed with
+// ErrOverloaded. All zero when admission control is off.
+func (c *Corpus) GateStats() GateStats { return c.store.GateStats() }
+
+// WithMaxConcurrent bounds how many corpus evaluations and counts run at
+// once (their worker pools, arenas and result buffers — the slot is held
+// until the pool shuts down, not merely until the call returns). Excess
+// queries wait in a bounded FIFO queue (WithMaxQueue, default 0) and past
+// that are shed fast with ErrOverloaded. n ≤ 0 leaves admission
+// unbounded.
+func WithMaxConcurrent(n int) CorpusOption {
+	return func(c *corpusConfig) { c.maxConcurrent = n }
+}
+
+// WithMaxQueue sets how many queries may wait for an admission slot
+// (default 0: at capacity, shed immediately). Queued queries honor their
+// deadline/cancellation while waiting and are admitted FIFO. Only
+// meaningful together with WithMaxConcurrent.
+func WithMaxQueue(n int) CorpusOption {
+	return func(c *corpusConfig) { c.maxQueue = n }
+}
+
+// WithTimeout bounds an evaluation's wall-clock time, measured from the
+// Eval call: admission wait, every graph build (aborted mid-sweep), and
+// every result delivery all count. On expiry the stream stops with
+// context.DeadlineExceeded on Err — results already streamed are valid
+// partial output. d ≤ 0 means no timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(o *core.Options) {
+		if d > 0 {
+			o.Timeout = d
+		}
+	}
+}
+
+// WithLimit caps how many results a corpus evaluation delivers: the
+// stream ends after n results with a nil Err — a met limit is normal
+// exhaustion, not a failure — and the worker pool stops promptly instead
+// of computing results nobody will read. n ≤ 0 means unlimited.
+func WithLimit(n int) Option {
+	return func(o *core.Options) {
+		if n > 0 {
+			o.Limit = uint64(n)
+		}
+	}
+}
+
+// WithBudget caps an evaluation's work in abstract units: one unit per
+// document byte scanned plus one per result delivered. A query that runs
+// out stops with ErrBudgetExceeded on the stream's Err, keeping results
+// already streamed. Budgets make cost explicit where timeouts are
+// machine-dependent: the same budget sheds the same query on fast and
+// slow hardware alike. n ≤ 0 means unbounded.
+func WithBudget(n int) Option {
+	return func(o *core.Options) {
+		if n > 0 {
+			o.Budget = uint64(n)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package spanjoin_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spanjoin"
+	"spanjoin/internal/leakcheck"
+	"spanjoin/internal/resilience"
+)
+
+// resilienceCorpus builds a corpus whose documents each yield many
+// matches for the test pattern, so undrained evaluations keep their
+// worker pools alive (blocked producing) — the state admission control
+// and leak tests need to be able to create on demand.
+func resilienceCorpus(t *testing.T, opts ...spanjoin.CorpusOption) *spanjoin.Corpus {
+	t.Helper()
+	c := spanjoin.NewCorpus(opts...)
+	for i := 0; i < 48; i++ {
+		c.Add(strings.Repeat("ab", 12))
+	}
+	return c
+}
+
+const resiliencePattern = `x{(ab)+}`
+
+// TestErrorTaxonomy pins the public failure modes: each limit violation
+// surfaces as its distinct typed error, detectable with errors.Is /
+// errors.As, at both the pattern path (EvalSearch) and the query path
+// (EvalQuery).
+func TestErrorTaxonomy(t *testing.T) {
+	q := spanjoin.NewQuery().Atom(`.*x{(ab)+}.*`).MustBuild()
+	eval := map[string]func(c *spanjoin.Corpus, opts ...spanjoin.Option) (*spanjoin.CorpusMatches, error){
+		"spanner": func(c *spanjoin.Corpus, opts ...spanjoin.Option) (*spanjoin.CorpusMatches, error) {
+			return c.EvalSearch(context.Background(), resiliencePattern, opts...)
+		},
+		"query": func(c *spanjoin.Corpus, opts ...spanjoin.Option) (*spanjoin.CorpusMatches, error) {
+			return c.EvalQuery(context.Background(), q, opts...)
+		},
+	}
+	for name, ev := range eval {
+		t.Run(name+"/deadline", func(t *testing.T) {
+			c := resilienceCorpus(t)
+			ms, err := ev(c, spanjoin.WithTimeout(time.Nanosecond))
+			if err != nil {
+				// The deadline may fire before the pool even starts; that
+				// synchronous form must carry the same typed error.
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("err = %v, want DeadlineExceeded", err)
+				}
+				return
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+			if err := ms.Err(); !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("Err = %v, want context.DeadlineExceeded", err)
+			}
+		})
+		t.Run(name+"/budget", func(t *testing.T) {
+			c := resilienceCorpus(t)
+			ms, err := ev(c, spanjoin.WithBudget(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+			if err := ms.Err(); !errors.Is(err, spanjoin.ErrBudgetExceeded) {
+				t.Fatalf("Err = %v, want ErrBudgetExceeded", err)
+			}
+			if st := ms.Stats(); st.Work == 0 {
+				t.Fatal("Stats.Work = 0 after budgeted work")
+			}
+		})
+		t.Run(name+"/limit", func(t *testing.T) {
+			c := resilienceCorpus(t)
+			ms, err := ev(c, spanjoin.WithLimit(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+				n++
+			}
+			if n != 3 {
+				t.Fatalf("delivered %d results, want 3", n)
+			}
+			if err := ms.Err(); err != nil {
+				t.Fatalf("Err = %v, want nil — a met limit is normal exhaustion", err)
+			}
+			if st := ms.Stats(); st.Delivered != 3 {
+				t.Fatalf("Stats.Delivered = %d, want 3", st.Delivered)
+			}
+		})
+		t.Run(name+"/overloaded", func(t *testing.T) {
+			c := resilienceCorpus(t, spanjoin.WithMaxConcurrent(1), spanjoin.WithResultBuffer(1), spanjoin.WithWorkers(1))
+			ms, err := ev(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ms.Close()
+			if _, ok := ms.Next(); !ok {
+				t.Fatal("holder query produced nothing")
+			}
+			if _, err := ev(c); !errors.Is(err, spanjoin.ErrOverloaded) {
+				t.Fatalf("err = %v, want ErrOverloaded", err)
+			}
+			if st := c.GateStats(); st.Rejected == 0 || st.Active != 1 {
+				t.Fatalf("GateStats = %+v, want Active 1 and Rejected > 0", st)
+			}
+		})
+	}
+}
+
+// TestCountHonorsLimits: counts pass the same gate and deadline as
+// streams.
+func TestCountHonorsLimits(t *testing.T) {
+	c := resilienceCorpus(t)
+	_, err := c.CountSearch(context.Background(), resiliencePattern, spanjoin.WithTimeout(time.Nanosecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("count with expired deadline: %v, want DeadlineExceeded", err)
+	}
+
+	g := resilienceCorpus(t, spanjoin.WithMaxConcurrent(1), spanjoin.WithResultBuffer(1), spanjoin.WithWorkers(1))
+	ms, err := g.EvalSearch(context.Background(), resiliencePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if _, ok := ms.Next(); !ok {
+		t.Fatal("holder query produced nothing")
+	}
+	if _, err := g.CountSearch(context.Background(), resiliencePattern); !errors.Is(err, spanjoin.ErrOverloaded) {
+		t.Fatalf("count under overload: %v, want ErrOverloaded", err)
+	}
+}
+
+// TestQueueAdmitsFIFO: with a one-deep queue, a second query waits for
+// the slot instead of shedding, and a third sheds.
+func TestQueueAdmitsFIFO(t *testing.T) {
+	c := resilienceCorpus(t, spanjoin.WithMaxConcurrent(1), spanjoin.WithMaxQueue(1), spanjoin.WithResultBuffer(1), spanjoin.WithWorkers(1))
+	ms, err := c.EvalSearch(context.Background(), resiliencePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ms.Next(); !ok {
+		t.Fatal("holder query produced nothing")
+	}
+
+	queuedDone := make(chan error, 1)
+	go func() {
+		q, err := c.EvalSearch(context.Background(), resiliencePattern)
+		if err != nil {
+			queuedDone <- err
+			return
+		}
+		defer q.Close()
+		if _, ok := q.Next(); !ok {
+			queuedDone <- errors.New("queued query produced nothing")
+			return
+		}
+		queuedDone <- nil
+	}()
+
+	// Wait until the second query is actually parked in the wait queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.GateStats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second query never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: a third query sheds.
+	if _, err := c.EvalSearch(context.Background(), resiliencePattern); !errors.Is(err, spanjoin.ErrOverloaded) {
+		t.Fatalf("third query err = %v, want ErrOverloaded", err)
+	}
+	// Releasing the slot admits the queued query.
+	ms.Close()
+	if err := <-queuedDone; err != nil {
+		t.Fatalf("queued query: %v", err)
+	}
+}
+
+// TestCorpusMatchesCloseConcurrent hammers the public Close from many
+// goroutines, racing Next and each other.
+func TestCorpusMatchesCloseConcurrent(t *testing.T) {
+	for trial := 0; trial < 4; trial++ {
+		c := resilienceCorpus(t, spanjoin.WithResultBuffer(1))
+		ms, err := c.EvalSearch(context.Background(), resiliencePattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ms.Close()
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := ms.Next(); !ok {
+					return
+				}
+			}
+		}()
+		wg.Wait()
+		ms.Close()
+		if err := ms.Err(); err != nil {
+			t.Fatalf("closed stream Err = %v, want nil", err)
+		}
+	}
+}
+
+// TestNoGoroutineLeaks drives every lifecycle path of a corpus
+// evaluation and asserts the worker pool (including the shard dealer) is
+// gone afterwards.
+func TestNoGoroutineLeaks(t *testing.T) {
+	t.Run("drained", func(t *testing.T) {
+		leakcheck.Check(t, func() {
+			c := resilienceCorpus(t)
+			ms, err := c.EvalSearch(context.Background(), resiliencePattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+		})
+	})
+	t.Run("closed-early", func(t *testing.T) {
+		leakcheck.Check(t, func() {
+			c := resilienceCorpus(t, spanjoin.WithResultBuffer(1))
+			ms, err := c.EvalSearch(context.Background(), resiliencePattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms.Next()
+			ms.Close()
+		})
+	})
+	t.Run("cancelled", func(t *testing.T) {
+		leakcheck.Check(t, func() {
+			c := resilienceCorpus(t, spanjoin.WithResultBuffer(1))
+			ctx, cancel := context.WithCancel(context.Background())
+			ms, err := c.EvalSearch(ctx, resiliencePattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms.Next()
+			cancel()
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+			if err := ms.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Err = %v, want context.Canceled", err)
+			}
+		})
+	})
+	t.Run("deadline", func(t *testing.T) {
+		leakcheck.Check(t, func() {
+			c := resilienceCorpus(t)
+			ms, err := c.EvalSearch(context.Background(), resiliencePattern, spanjoin.WithTimeout(time.Nanosecond))
+			if err != nil {
+				return
+			}
+			for {
+				if _, ok := ms.Next(); !ok {
+					break
+				}
+			}
+		})
+	})
+	t.Run("shed", func(t *testing.T) {
+		leakcheck.Check(t, func() {
+			c := resilienceCorpus(t, spanjoin.WithMaxConcurrent(1), spanjoin.WithResultBuffer(1), spanjoin.WithWorkers(1))
+			ms, err := c.EvalSearch(context.Background(), resiliencePattern)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms.Next()
+			if _, err := c.EvalSearch(context.Background(), resiliencePattern); !errors.Is(err, spanjoin.ErrOverloaded) {
+				t.Fatalf("err = %v, want ErrOverloaded", err)
+			}
+			ms.Close()
+		})
+	})
+	t.Run("abandoned", func(t *testing.T) {
+		// The hard case: the caller reads a bit and drops the stream
+		// without Close. The dealer and workers are parked on a full
+		// buffer; only the GC cleanup attached to the public wrapper can
+		// reap them. leakcheck's retry loop runs runtime.GC, which fires
+		// the cleanup once the wrapper is unreachable.
+		leakcheck.Check(t, func() {
+			c := resilienceCorpus(t, spanjoin.WithResultBuffer(1))
+			func() {
+				ms, err := c.EvalSearch(context.Background(), resiliencePattern)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms.Next()
+			}()
+		})
+	})
+}
+
+// TestIterateCtxCancellation: single-document iteration with a context
+// stops on cancellation and reports it via Matches.Err, while plain
+// Iterate reports nil.
+func TestIterateCtxCancellation(t *testing.T) {
+	sp := spanjoin.MustCompile(`.*x{(ab)+}.*`)
+	doc := strings.Repeat("ab", 64)
+
+	ms, err := sp.Iterate(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+	}
+	if err := ms.Err(); err != nil {
+		t.Fatalf("plain Iterate Err = %v, want nil", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ms, err = sp.IterateCtx(ctx, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ms.Next(); !ok {
+		t.Fatal("no first match")
+	}
+	cancel()
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+	}
+	if err := ms.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+
+	// An already-dead context fails fast.
+	if _, err := sp.IterateCtx(ctx, doc); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IterateCtx on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestPanicErrorExposed: the re-exported alias is the engine's own type,
+// so a PanicError produced anywhere inside surfaces to errors.As at the
+// API boundary, through wrapping, with its message naming the document.
+func TestPanicErrorExposed(t *testing.T) {
+	inner := resilience.NewPanicError(7, "boom")
+	wrapped := fmt.Errorf("evaluating: %w", inner)
+	var pe *spanjoin.PanicError
+	if !errors.As(wrapped, &pe) {
+		t.Fatal("errors.As failed through a wrap")
+	}
+	if pe.Doc != 7 || !strings.Contains(pe.Error(), "doc 7") {
+		t.Fatalf("PanicError = %v", pe)
+	}
+	// An error panic value stays reachable through Unwrap.
+	cause := errors.New("root cause")
+	if !errors.Is(resilience.NewPanicError(resilience.NoDoc, cause), cause) {
+		t.Fatal("errors.Is lost the panic's error value")
+	}
+}

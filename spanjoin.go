@@ -206,6 +206,29 @@ func (s *Spanner) Iterate(doc string) (*Matches, error) {
 	return &Matches{it: e, vars: e.Vars(), doc: doc}, nil
 }
 
+// IterateCtx is Iterate with cancellation: the context is polled both
+// inside the graph build (amortized, so a pathological document cannot
+// wedge the caller before the first match) and between matches. After
+// Next returns ok=false, Matches.Err distinguishes cancellation from
+// exhaustion.
+func (s *Spanner) IterateCtx(ctx context.Context, doc string) (*Matches, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.prefilterEmpty(doc) {
+		return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
+	}
+	p, err := s.compiledPlan()
+	if err != nil {
+		return nil, err
+	}
+	e := p.NewEnumerator()
+	e.SetInterrupt(func() bool { return ctx.Err() != nil })
+	e.Reset(doc)
+	cit := core.WithContext(ctx, e)
+	return &Matches{it: cit, vars: e.Vars(), doc: doc}, nil
+}
+
 // RequiredLiteral exposes the most selective prefilter factor derived at
 // compile time: a byte string every matching document must contain, or "".
 func (s *Spanner) RequiredLiteral() string { return s.req.Longest() }
@@ -368,6 +391,17 @@ func (ms *Matches) Next() (Match, bool) {
 
 // Vars lists the output variables.
 func (ms *Matches) Vars() []string { return append([]string(nil), ms.vars...) }
+
+// Err distinguishes cancellation from exhaustion after Next has returned
+// ok=false: iterators opened with a context (Spanner.IterateCtx,
+// Query.IterateCtx) report the context's error once it fires; plain
+// Iterate matches always report nil.
+func (ms *Matches) Err() error {
+	if e, ok := ms.it.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
 
 // Join composes two spanners with the natural join ⋈ (Lemma 3.10): results
 // agree on shared variables' spans. The construction is O(v·n⁴); joining
