@@ -1,0 +1,154 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spanjoin"
+)
+
+// flaky answers error statuses for the first fail requests, then serves
+// a minimal valid /eval page.
+func flaky(status int, fail int32) (*httptest.Server, *atomic.Int32) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= fail {
+			w.WriteHeader(status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"doc":0,"spans":{"x":{"start":0,"end":1,"text":"a"}}}` + "\n"))
+		w.Write([]byte(`{"done":true,"delivered":1,"total":"1"}` + "\n"))
+	}))
+	return ts, &hits
+}
+
+// newFast builds a client with near-zero backoff and deterministic
+// jitter, so retry tests don't sleep for real.
+func newFast(t *testing.T, url string, opts ...Option) *Client {
+	t.Helper()
+	cl, err := New(url, append([]Option{WithBackoff(time.Microsecond)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.jitter = func() float64 { return 0.5 }
+	return cl
+}
+
+func TestRetryOn503ThenSuccess(t *testing.T) {
+	ts, hits := flaky(http.StatusServiceUnavailable, 2)
+	defer ts.Close()
+	cl := newFast(t, ts.URL)
+	page, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Matches) != 1 || page.Matches[0].Spans["x"].Text != "a" {
+		t.Fatalf("bad page: %+v", page)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestRetryOn429MapsToOverloadedWhenExhausted(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"corpus overloaded","class":"overloaded"}`))
+	}))
+	defer ts.Close()
+	cl := newFast(t, ts.URL, WithRetries(2))
+	_, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a}"})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want RemoteError with 429", err)
+	}
+	// The wire class unwraps onto the library sentinel.
+	if !errors.Is(err, spanjoin.ErrOverloaded) {
+		t.Fatalf("429 does not errors.Is ErrOverloaded: %v", err)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	ts, hits := flaky(http.StatusBadRequest, 1000)
+	defer ts.Close()
+	cl := newFast(t, ts.URL)
+	if _, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a"}); err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("400 was retried: server saw %d requests", got)
+	}
+}
+
+func TestRetriesDisabled(t *testing.T) {
+	ts, hits := flaky(http.StatusServiceUnavailable, 1000)
+	defer ts.Close()
+	cl := newFast(t, ts.URL, WithRetries(0))
+	if _, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a}"}); err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("retries disabled but server saw %d requests", got)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ts, _ := flaky(http.StatusServiceUnavailable, 1000)
+	defer ts.Close()
+	cl := newFast(t, ts.URL, WithRetries(5), WithBackoff(time.Hour))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Eval(ctx, EvalRequest{Pattern: "x{a}"})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled retry loop did not return")
+	}
+}
+
+func TestRetryOnConnectionError(t *testing.T) {
+	// A server that dies after the first request: the retry must re-dial
+	// and the request fail only after retries are exhausted.
+	ts, _ := flaky(http.StatusServiceUnavailable, 0)
+	url := ts.URL
+	ts.Close() // nothing listens: every attempt is a connection error
+	cl := newFast(t, url, WithRetries(2))
+	start := time.Now()
+	if _, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a}"}); err == nil {
+		t.Fatal("expected a connection error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("connection-error retries took implausibly long")
+	}
+}
+
+func TestEvalRequestValidation(t *testing.T) {
+	cl := newFast(t, "http://127.0.0.1:1")
+	if _, err := cl.Eval(context.Background(), EvalRequest{}); err == nil {
+		t.Error("empty request must fail client-side")
+	}
+	if _, err := cl.Eval(context.Background(), EvalRequest{Cursor: "sj1.x", Pattern: "x{a}"}); err == nil {
+		t.Error("cursor+pattern must fail client-side")
+	}
+	if _, err := New("not a url"); err == nil {
+		t.Error("New accepted a bad URL")
+	}
+	if _, err := New("/just/a/path"); err == nil {
+		t.Error("New accepted a scheme-less URL")
+	}
+}

@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	spanctl eval  -p PATTERN [-d DOC | -f FILE] [-offset N] [-max N] [-json]
-//	              [-timeout D] [-limit N] [-budget N]
-//	    evaluate a regex formula and print every match; -timeout, -limit
-//	    and -budget bound the evaluation, failing with distinct exit
-//	    codes (3: deadline, 5: budget; a met -limit exits 0)
-//	spanctl count -p PATTERN [-d DOC | -f FILE] [-json]
+//	spanctl eval  -p PATTERN [-d DOC | -f FILE | -addr URL] [-offset N]
+//	              [-max N] [-json] [-timeout D] [-limit N] [-budget N]
+//	    evaluate a regex formula and print every match; -offset/-limit
+//	    select the window [offset, offset+limit); -timeout, -limit and
+//	    -budget bound the evaluation, failing with distinct exit codes
+//	    (3: deadline, 5: budget; a met -limit exits 0); -addr evaluates
+//	    against a spand server instead of a local document
+//	spanctl count -p PATTERN [-d DOC | -f FILE | -addr URL] [-json]
 //	    print the exact number of matches without enumerating them
 //	    (ranked DP; counts beyond uint64 stay exact)
-//	spanctl sample -p PATTERN -n K [-seed S] [-d DOC | -f FILE] [-json]
+//	spanctl sample -p PATTERN -n K [-seed S] [-d DOC | -f FILE | -addr URL] [-json]
 //	    print K matches drawn i.i.d. uniformly from the result set
+//	spanctl stats -addr URL [-json]
+//	    print a spand server's corpus/cache/gate/request counters
 //	spanctl check -p PATTERN
 //	    parse a pattern and report functionality
 //	spanctl dot   -p PATTERN
@@ -40,10 +44,12 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"spanjoin"
+	"spanjoin/client"
 	"spanjoin/internal/rgx"
 	"spanjoin/internal/vsa"
 )
@@ -66,11 +72,29 @@ const (
 	exitBudget   = 5
 )
 
+// usageErr marks an error as a usage error (exit 2): the invocation is
+// malformed and no evaluation was attempted.
+type usageErr struct{ err error }
+
+func (e *usageErr) Error() string { return e.err.Error() }
+func (e *usageErr) Unwrap() error { return e.err }
+
+// usagef builds a usage error.
+func usagef(format string, a ...any) error {
+	return &usageErr{fmt.Errorf(format, a...)}
+}
+
 // exitCode maps an error to its exit code via the typed error taxonomy.
+// The remote error types of the client package unwrap onto the same
+// sentinels, so a 429 from a spand server exits 4 exactly like a local
+// shed.
 func exitCode(err error) int {
+	var ue *usageErr
 	switch {
 	case err == nil:
 		return exitOK
+	case errors.As(err, &ue):
+		return exitUsage
 	case errors.Is(err, context.DeadlineExceeded):
 		return exitDeadline
 	case errors.Is(err, spanjoin.ErrOverloaded):
@@ -108,6 +132,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err = cmdKey(args[1:], stdout)
 	case "query":
 		err = cmdQuery(args[1:], stdout, stderr)
+	case "stats":
+		err = cmdStats(args[1:], stdout)
 	case "-h", "--help", "help":
 		usage(stderr)
 		return 0
@@ -124,13 +150,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: spanctl <eval|count|sample|check|dot|key|query> [flags]
-  eval   -p PATTERN [-d DOC | -f FILE] [-offset N] [-max N] [-json]
+	fmt.Fprintln(w, `usage: spanctl <eval|count|sample|check|dot|key|query|stats> [flags]
+  eval   -p PATTERN [-d DOC | -f FILE | -addr URL] [-offset N] [-max N] [-json]
          [-timeout D] [-limit N] [-budget N]
-         evaluate on a document (-offset skips ranked, not by stepping)
-  count  -p PATTERN [-d DOC | -f FILE] [-json]           exact match count, no enumeration
-  sample -p PATTERN -n K [-seed S] [-d DOC|-f FILE] [-json]
-         K i.i.d. uniform matches
+         evaluate on a document or a spand server; -offset/-limit is the
+         window [offset, offset+limit), entered ranked, not by stepping
+  count  -p PATTERN [-d DOC | -f FILE | -addr URL] [-json]  exact match count, no enumeration
+  sample -p PATTERN -n K [-seed S] [-d DOC|-f FILE|-addr URL] [-json]
+         K i.i.d. uniform matches (-n >= 1, -seed >= 0)
+  stats  -addr URL [-json]                               spand server counters
   check  -p PATTERN                                      functionality check
   dot    -p PATTERN                                      automaton as Graphviz dot
   key    -p PATTERN -x VAR                               key-attribute test
@@ -167,9 +195,10 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	pattern := fs.String("p", "", "regex formula pattern")
 	doc := fs.String("d", "", "document text")
 	file := fs.String("f", "", "document file ('-' for stdin)")
-	offset := fs.Uint64("offset", 0, "skip the first N matches (one ranked DAG descent, not N steps)")
+	addr := fs.String("addr", "", "evaluate against a spand server at this URL instead of a local document")
+	offset := fs.Uint64("offset", 0, "start at match rank N (one ranked DAG descent, not N steps)")
 	maxN := fs.Int("max", 0, "stop after N matches (0 = all)")
-	limit := fs.Int("limit", 0, "deliver at most N matches, stopping the engine early (0 = all)")
+	limit := fs.Int("limit", 0, "deliver at most N matches; with -offset, the window is [offset, offset+limit)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, exit "+fmt.Sprint(exitDeadline)+" (0 = none)")
 	budget := fs.Int("budget", 0, "work budget in engine units (doc bytes + results), exit "+fmt.Sprint(exitBudget)+" when exceeded (0 = none)")
 	asJSON := fs.Bool("json", false, "emit JSON lines")
@@ -177,7 +206,13 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if *pattern == "" {
-		return fmt.Errorf("-p is required")
+		return usagef("-p is required")
+	}
+	if *addr != "" {
+		if *doc != "" || *file != "" {
+			return usagef("-addr does not combine with -d/-f (the corpus lives on the server)")
+		}
+		return evalRemote(*addr, *pattern, *offset, *limit, *maxN, *timeout, *budget, *asJSON, stdout, stderr)
 	}
 	text, err := readDoc(*doc, *file)
 	if err != nil {
@@ -187,18 +222,24 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *timeout > 0 || *limit > 0 || *budget > 0 {
+	if *timeout > 0 || *budget > 0 {
 		// The resilience knobs run through the corpus engine (a
 		// single-document corpus), which is where deadlines, limits and
-		// budgets are enforced with typed errors.
+		// budgets are enforced with typed errors. Offsets stay with the
+		// ranked iterator path, which these knobs do not reach.
 		if *offset > 0 {
-			return fmt.Errorf("-offset does not combine with -timeout/-limit/-budget")
+			return usagef("-offset does not combine with -timeout/-budget")
 		}
 		eff := *limit
 		if eff == 0 || (*maxN > 0 && *maxN < eff) {
 			eff = *maxN
 		}
 		return evalResilient(sp, text, *timeout, eff, *budget, *asJSON, stdout, stderr)
+	}
+	if *limit > 0 && *offset == 0 {
+		// A plain -limit still stops the engine early rather than merely
+		// truncating output.
+		return evalResilient(sp, text, 0, effLimit(*limit, *maxN), *budget, *asJSON, stdout, stderr)
 	}
 	it, err := sp.Iterate(text)
 	if err != nil {
@@ -207,6 +248,10 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	if *offset > 0 {
 		it.Skip(*offset)
 	}
+	// -offset with -limit is the documented window [offset, offset+limit):
+	// skip to rank offset with one ranked descent, then deliver limit
+	// matches. -max composes as a further cap.
+	capN := effLimit(*limit, *maxN)
 	enc := json.NewEncoder(stdout)
 	count := 0
 	for {
@@ -218,12 +263,86 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 		if err := printMatch(enc, stdout, m, *asJSON); err != nil {
 			return err
 		}
-		if *maxN > 0 && count >= *maxN {
+		if capN > 0 && count >= capN {
 			break
 		}
 	}
 	fmt.Fprintf(stderr, "%d match(es)\n", count)
 	return nil
+}
+
+// effLimit merges -limit and -max into one effective cap (0 = none).
+func effLimit(limit, maxN int) int {
+	if limit == 0 || (maxN > 0 && maxN < limit) {
+		return maxN
+	}
+	return limit
+}
+
+// evalRemote pages a corpus evaluation off a spand server, following
+// cursor tokens until the cap or the result sequence is exhausted.
+// Typed remote failures (shed, deadline, budget) unwrap onto the same
+// sentinels as local ones, so the exit codes match; budget-mode partial
+// rows are printed before the error surfaces, like a local partial
+// stream.
+func evalRemote(addr, pattern string, offset uint64, limit, maxN int, timeout time.Duration, budget int, asJSON bool, stdout, stderr io.Writer) error {
+	cl, err := client.New(addr)
+	if err != nil {
+		return err
+	}
+	want := effLimit(limit, maxN)
+	req := client.EvalRequest{Pattern: pattern, Offset: offset, Timeout: timeout, Budget: budget}
+	if want > 0 {
+		req.Limit = want
+	}
+	enc := json.NewEncoder(stdout)
+	count := 0
+	for {
+		page, err := cl.Eval(context.Background(), req)
+		if page != nil {
+			for _, m := range page.Matches {
+				if want > 0 && count >= want {
+					break
+				}
+				count++
+				if perr := printRemoteMatch(enc, stdout, m, asJSON); perr != nil {
+					return perr
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if page.Next == "" || (want > 0 && count >= want) {
+			break
+		}
+		req = client.EvalRequest{Cursor: page.Next, Timeout: timeout}
+		if want > 0 {
+			req.Limit = want - count
+		}
+	}
+	fmt.Fprintf(stderr, "%d match(es)\n", count)
+	return nil
+}
+
+// printRemoteMatch writes one wire row as text or as a JSON line.
+func printRemoteMatch(enc *json.Encoder, stdout io.Writer, m client.Match, asJSON bool) error {
+	if asJSON {
+		return enc.Encode(m)
+	}
+	vars := make([]string, 0, len(m.Spans))
+	for v := range m.Spans {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	fmt.Fprintf(&b, "doc=%d", m.Doc)
+	for _, v := range vars {
+		s := m.Spans[v]
+		fmt.Fprintf(&b, " %s=[%d,%d)%q", v, s.Start, s.End, s.Text)
+	}
+	_, err := fmt.Fprintln(stdout, b.String())
+	return err
 }
 
 // evalResilient routes an eval through a single-document corpus, where
@@ -299,27 +418,43 @@ func cmdCount(args []string, stdout io.Writer) error {
 	pattern := fs.String("p", "", "regex formula pattern")
 	doc := fs.String("d", "", "document text")
 	file := fs.String("f", "", "document file ('-' for stdin)")
+	addr := fs.String("addr", "", "count against a spand server at this URL instead of a local document")
+	timeout := fs.Duration("timeout", 0, "abort after this long (remote only; 0 = server default)")
 	asJSON := fs.Bool("json", false, "emit JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pattern == "" {
-		return fmt.Errorf("-p is required")
+		return usagef("-p is required")
 	}
-	text, err := readDoc(*doc, *file)
-	if err != nil {
-		return err
-	}
-	sp, err := spanjoin.Compile(*pattern)
-	if err != nil {
-		return err
-	}
-	n, err := sp.Count(text)
-	if err != nil {
-		return err
+	var n fmt.Stringer
+	if *addr != "" {
+		if *doc != "" || *file != "" {
+			return usagef("-addr does not combine with -d/-f (the corpus lives on the server)")
+		}
+		cl, err := client.New(*addr)
+		if err != nil {
+			return err
+		}
+		n, err = cl.Count(context.Background(), *pattern, "", *timeout)
+		if err != nil {
+			return err
+		}
+	} else {
+		text, err := readDoc(*doc, *file)
+		if err != nil {
+			return err
+		}
+		sp, err := spanjoin.Compile(*pattern)
+		if err != nil {
+			return err
+		}
+		if n, err = sp.Count(text); err != nil {
+			return err
+		}
 	}
 	if *asJSON {
-		// MatchCount.String is a decimal integer — a valid JSON number at
+		// Both count types print a decimal integer — a valid JSON number at
 		// any magnitude, so counts beyond uint64 stay exact on the wire.
 		fmt.Fprintf(stdout, "{\"count\":%s}\n", n)
 		return nil
@@ -333,17 +468,46 @@ func cmdSample(args []string, stdout, stderr io.Writer) error {
 	pattern := fs.String("p", "", "regex formula pattern")
 	doc := fs.String("d", "", "document text")
 	file := fs.String("f", "", "document file ('-' for stdin)")
-	k := fs.Int("n", 1, "number of samples to draw")
-	seed := fs.Int64("seed", 1, "random seed (same seed, same draws)")
+	addr := fs.String("addr", "", "sample against a spand server at this URL instead of a local document")
+	k := fs.Int("n", 1, "number of samples to draw (must be >= 1)")
+	seed := fs.Int64("seed", 1, "random seed, non-negative (same seed, same draws)")
 	asJSON := fs.Bool("json", false, "emit JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pattern == "" {
-		return fmt.Errorf("-p is required")
+		return usagef("-p is required")
 	}
+	// Malformed draws are usage errors (exit 2), caught before any work:
+	// a non-positive -n samples nothing, and a negative -seed would feed
+	// rand.NewSource a value the documented "same seed, same draws"
+	// contract never covers.
 	if *k < 1 {
-		return fmt.Errorf("-n must be at least 1")
+		return usagef("-n must be at least 1 (got %d)", *k)
+	}
+	if *seed < 0 {
+		return usagef("-seed must be non-negative (got %d)", *seed)
+	}
+	if *addr != "" {
+		if *doc != "" || *file != "" {
+			return usagef("-addr does not combine with -d/-f (the corpus lives on the server)")
+		}
+		cl, err := client.New(*addr)
+		if err != nil {
+			return err
+		}
+		ms, err := cl.Sample(context.Background(), *pattern, "", *k, *seed)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		for _, m := range ms {
+			if err := printRemoteMatch(enc, stdout, m, *asJSON); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(stderr, "%d sample(s) drawn uniformly\n", len(ms))
+		return nil
 	}
 	text, err := readDoc(*doc, *file)
 	if err != nil {
@@ -364,6 +528,37 @@ func cmdSample(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprintf(stderr, "%d sample(s) drawn uniformly\n", len(ms))
+	return nil
+}
+
+// cmdStats prints a spand server's operational counters.
+func cmdStats(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	addr := fs.String("addr", "", "spand server URL (required)")
+	asJSON := fs.Bool("json", false, "emit JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return usagef("-addr is required")
+	}
+	cl, err := client.New(*addr)
+	if err != nil {
+		return err
+	}
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return json.NewEncoder(stdout).Encode(st)
+	}
+	fmt.Fprintf(stdout, "docs:     %d (%d shards, indexed=%v)\n", st.Docs, st.Shards, st.Indexed)
+	fmt.Fprintf(stdout, "cache:    %d hits, %d misses, %d resident (%.0f%% hit rate)\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Resident, 100*st.Cache.HitRate)
+	fmt.Fprintf(stdout, "gate:     %d active, %d queued, %d rejected\n",
+		st.Gate.Active, st.Gate.Queued, st.Gate.Rejected)
+	fmt.Fprintf(stdout, "requests: %d served, %d failed\n", st.Server.Served, st.Server.Failed)
 	return nil
 }
 

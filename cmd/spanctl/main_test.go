@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spanjoin"
+	"spanjoin/server"
 )
 
 func runCtl(t *testing.T, args ...string) (stdout, stderr string, code int) {
@@ -305,10 +309,35 @@ func TestEvalResilientMatchesPlain(t *testing.T) {
 	}
 }
 
+func TestEvalOffsetLimitWindow(t *testing.T) {
+	// -offset with -limit is the documented window [offset, offset+limit):
+	// over "aaa", a*x{a+}a* has ranked matches, and the window starting at
+	// rank 1 of size 2 delivers exactly 2 of them.
+	out, _, code := runCtl(t, "eval", "-p", "a*x{a+}a*", "-d", "aaa", "-offset", "1", "-limit", "2")
+	if code != exitOK {
+		t.Fatalf("exit %d, want %d (out %q)", code, exitOK, out)
+	}
+	if n := strings.Count(out, "x="); n != 2 {
+		t.Errorf("window [1,3): got %d matches, want 2 (out %q)", n, out)
+	}
+	// The window agrees with plain enumeration skipped by hand.
+	all, _, _ := runCtl(t, "eval", "-p", "a*x{a+}a*", "-d", "aaa")
+	lines := strings.Split(strings.TrimSpace(all), "\n")
+	want := strings.Join(lines[1:3], "\n") + "\n"
+	if out != want {
+		t.Errorf("window output %q, want rows 1..2 of %q", out, all)
+	}
+}
+
 func TestEvalOffsetRejectsResilienceFlags(t *testing.T) {
-	_, _, code := runCtl(t, "eval", "-p", "x{a}", "-d", "a", "-offset", "1", "-limit", "1")
-	if code != exitErr {
-		t.Errorf("exit %d, want %d", code, exitErr)
+	// -offset runs on the ranked iterator path, which -timeout/-budget do
+	// not reach; combining them is a usage error, not a silent drop.
+	for _, extra := range [][]string{{"-timeout", "1s"}, {"-budget", "10"}} {
+		args := append([]string{"eval", "-p", "x{a}", "-d", "a", "-offset", "1"}, extra...)
+		_, _, code := runCtl(t, args...)
+		if code != exitUsage {
+			t.Errorf("%v: exit %d, want %d", extra, code, exitUsage)
+		}
 	}
 }
 
@@ -344,5 +373,78 @@ func TestEvalOffsetFlag(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(full), "\n")
 	if want := strings.Join(lines[8:], "\n") + "\n"; out != want {
 		t.Errorf("offset page = %q, want tail of full enumeration %q", out, want)
+	}
+}
+
+// TestSampleUsageValidation pins the satellite contract: malformed draw
+// parameters are usage errors (exit 2), caught before any evaluation.
+func TestSampleUsageValidation(t *testing.T) {
+	bad := [][]string{
+		{"sample", "-p", "x{a}", "-d", "a", "-n", "0"},
+		{"sample", "-p", "x{a}", "-d", "a", "-n", "-3"},
+		{"sample", "-p", "x{a}", "-d", "a", "-seed", "-1"},
+		{"sample", "-d", "a", "-n", "1"}, // missing -p
+	}
+	for _, args := range bad {
+		if _, _, code := runCtl(t, args...); code != exitUsage {
+			t.Errorf("%v: exit %d, want %d", args, code, exitUsage)
+		}
+	}
+	// The happy path still works, including seed 0.
+	out, _, code := runCtl(t, "sample", "-p", "a*x{a+}a*", "-d", "aaaa", "-n", "2", "-seed", "0")
+	if code != exitOK {
+		t.Fatalf("valid sample: exit %d (out %q)", code, out)
+	}
+	if n := strings.Count(out, "x="); n != 2 {
+		t.Errorf("valid sample: %d draws, want 2", n)
+	}
+}
+
+// TestRemoteMode round-trips eval/count/sample/stats against a real
+// spand server over a TCP socket — the CLI's client mode end to end.
+func TestRemoteMode(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	c.AddAll("alice sent mail", "no matches here", "aa mail mail aa", "mail")
+	ts := httptest.NewServer(server.New(c, server.Config{}).Handler())
+	defer ts.Close()
+
+	out, errw, code := runCtl(t, "eval", "-p", `x{mail}`, "-addr", ts.URL, "-json")
+	if code != exitOK {
+		t.Fatalf("eval: exit %d, stderr %q", code, errw)
+	}
+	// Anchor mode: only the document that is exactly "mail" matches.
+	if n := strings.Count(out, `"text":"mail"`); n != 1 {
+		t.Errorf("remote eval: %d rows (out %q), want 1", n, out)
+	}
+
+	out, _, code = runCtl(t, "count", "-p", `x{mail}`, "-addr", ts.URL, "-json")
+	if code != exitOK || strings.TrimSpace(out) != `{"count":1}` {
+		t.Errorf("remote count: exit %d out %q, want {\"count\":1}", code, out)
+	}
+
+	out, errw, code = runCtl(t, "sample", "-p", `x{mail}`, "-addr", ts.URL, "-n", "3", "-seed", "7")
+	if code != exitOK {
+		t.Fatalf("sample: exit %d, stderr %q", code, errw)
+	}
+	if n := strings.Count(out, "x="); n != 3 {
+		t.Errorf("remote sample: %d draws (out %q), want 3", n, out)
+	}
+
+	out, _, code = runCtl(t, "stats", "-addr", ts.URL)
+	if code != exitOK || !strings.Contains(out, "docs:") {
+		t.Errorf("stats: exit %d out %q", code, out)
+	}
+
+	// Remote + local document sources are mutually exclusive; missing
+	// -addr on stats is usage too.
+	for _, args := range [][]string{
+		{"eval", "-p", "x{a}", "-addr", ts.URL, "-d", "a"},
+		{"count", "-p", "x{a}", "-addr", ts.URL, "-f", "x"},
+		{"sample", "-p", "x{a}", "-addr", ts.URL, "-d", "a"},
+		{"stats"},
+	} {
+		if _, _, code := runCtl(t, args...); code != exitUsage {
+			t.Errorf("%v: exit %d, want %d", args, code, exitUsage)
+		}
 	}
 }

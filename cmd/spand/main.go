@@ -1,0 +1,164 @@
+// Command spand serves a spanjoin corpus over HTTP/JSON.
+//
+// Usage:
+//
+//	spand -addr :8080 [corpus flags] [server flags] [FILE ...]
+//
+// Each positional FILE is loaded as one document; -lines FILE (or
+// -lines -) instead loads one document per line, which is how the load
+// experiments and the CI integration test feed a many-document corpus.
+//
+// Corpus flags mirror the library's constructor options:
+//
+//	-shards N          store shards (0 = default)
+//	-workers N         evaluation pool size (0 = GOMAXPROCS)
+//	-index             build the skip index on ingest
+//	-max-concurrent N  admission gate: evaluations running at once (0 = unbounded)
+//	-max-queue N       admission gate: queries waiting for a slot
+//
+// Server flags bound what one request can ask for:
+//
+//	-max-page N        page-size clamp for /eval limit and /sample n
+//	-default-timeout D per-request deadline when the request names none
+//	-max-timeout D     clamp for request-supplied timeouts
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests get -grace (default 5s) to finish.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spanjoin"
+	"spanjoin/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus process concerns, split out for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	shards := fs.Int("shards", 0, "store shards (0 = default)")
+	workers := fs.Int("workers", 0, "evaluation pool size (0 = GOMAXPROCS)")
+	index := fs.Bool("index", false, "build the skip index on ingest")
+	maxConcurrent := fs.Int("max-concurrent", 0, "admission gate: evaluations running at once (0 = unbounded)")
+	maxQueue := fs.Int("max-queue", 0, "admission gate: queries waiting for a slot")
+	maxPage := fs.Int("max-page", 0, "page-size clamp for /eval limit and /sample n (0 = default)")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when the request names none (0 = default)")
+	maxTimeout := fs.Duration("max-timeout", 0, "clamp for request-supplied timeouts (0 = default)")
+	lines := fs.String("lines", "", "load one document per line of FILE ('-' = stdin)")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var copts []spanjoin.CorpusOption
+	if *shards > 0 {
+		copts = append(copts, spanjoin.WithShards(*shards))
+	}
+	if *workers > 0 {
+		copts = append(copts, spanjoin.WithWorkers(*workers))
+	}
+	if *index {
+		copts = append(copts, spanjoin.WithIndex())
+	}
+	if *maxConcurrent > 0 {
+		copts = append(copts, spanjoin.WithMaxConcurrent(*maxConcurrent))
+	}
+	if *maxQueue > 0 {
+		copts = append(copts, spanjoin.WithMaxQueue(*maxQueue))
+	}
+	corpus := spanjoin.NewCorpus(copts...)
+
+	if err := load(corpus, *lines, fs.Args()); err != nil {
+		fmt.Fprintln(stderr, "spand:", err)
+		return 1
+	}
+
+	srv := server.New(corpus, server.Config{
+		MaxPageSize:    *maxPage,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "spand:", err)
+		return 1
+	}
+	// The resolved address is the first line on stdout so scripts (and the
+	// CI integration test) can bind ":0" and read back the port.
+	fmt.Fprintf(stdout, "listening on %s (%d docs, %d shards)\n",
+		ln.Addr(), corpus.Len(), corpus.NumShards())
+
+	hs := &http.Server{Handler: srv.Handler(), ErrorLog: log.New(stderr, "spand: ", 0)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "spand:", err)
+			return 1
+		}
+	case <-ctx.Done():
+		stop()
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			hs.Close()
+		}
+		fmt.Fprintln(stdout, "shut down")
+	}
+	return 0
+}
+
+// load ingests the corpus: every positional file as one document, plus —
+// with -lines — one document per line of a file or stdin.
+func load(c *spanjoin.Corpus, lines string, files []string) error {
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		c.Add(string(b))
+	}
+	if lines == "" {
+		return nil
+	}
+	var r io.Reader
+	if lines == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(lines)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		c.Add(sc.Text())
+	}
+	return sc.Err()
+}

@@ -2,9 +2,21 @@ package spanjoin
 
 import (
 	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
 
 	"spanjoin/internal/core"
 	"spanjoin/internal/corpus"
+	"spanjoin/internal/ranked"
 )
 
 // Count compiles the pattern (through the corpus cache) and returns the
@@ -172,4 +184,193 @@ func (c *Corpus) EvalSpannerPage(ctx context.Context, sp *Spanner, offset uint64
 		})
 	}
 	return page, nil
+}
+
+// Sample draws k matches i.i.d. uniformly (with replacement) from the
+// corpus-wide result set of the pattern, compiled through the corpus
+// cache. Uniformity is exact at any result-set size, including corpus
+// totals beyond 2^64: one parallel counting sweep weights the documents,
+// then each draw is a weighted document pick plus one ranked DAG descent
+// — no enumeration anywhere. Returns nil when there are no matches.
+func (c *Corpus) Sample(ctx context.Context, pattern string, rng *rand.Rand, k int, opts ...Option) ([]CorpusMatch, error) {
+	sp, err := c.compileCached("anchor", pattern, Compile)
+	if err != nil {
+		return nil, err
+	}
+	return c.SampleSpanner(ctx, sp, rng, k, opts...)
+}
+
+// SampleSearch is Sample with substring semantics (CompileSearch).
+func (c *Corpus) SampleSearch(ctx context.Context, pattern string, rng *rand.Rand, k int, opts ...Option) ([]CorpusMatch, error) {
+	sp, err := c.compileCached("search", pattern, CompileSearch)
+	if err != nil {
+		return nil, err
+	}
+	return c.SampleSpanner(ctx, sp, rng, k, opts...)
+}
+
+// SampleSpanner is Sample for a precompiled spanner. The counting sweep
+// honors WithTimeout and the admission gate; ranked views built for the
+// draws are cached per document, so k draws cost at most min(k, matched
+// docs) graph builds on top of the sweep.
+func (c *Corpus) SampleSpanner(ctx context.Context, sp *Spanner, rng *rand.Rand, k int, opts ...Option) ([]CorpusMatch, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	res, err := c.countSpanner(ctx, sp, buildOptions(opts), true)
+	if err != nil {
+		return nil, err
+	}
+	if res.Total.IsZero() {
+		return nil, nil
+	}
+	// Cumulative per-doc counts in ascending DocID order (PerDoc is
+	// sorted); big.Int throughout so totals past 2^64 keep exact weights.
+	cum := make([]*big.Int, len(res.PerDoc))
+	running := new(big.Int)
+	for i, dc := range res.PerDoc {
+		running = new(big.Int).Add(running, dc.N.BigInt())
+		cum[i] = running
+	}
+	total := cum[len(cum)-1]
+	views := make(map[DocID]*Ranked, k)
+	out := make([]CorpusMatch, 0, k)
+	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r := ranked.RandBelow(rng, total)
+		j := sort.Search(len(cum), func(j int) bool { return cum[j].Cmp(r) > 0 })
+		dc := res.PerDoc[j]
+		within := new(big.Int).Sub(r, new(big.Int).Sub(cum[j], dc.N.BigInt()))
+		rk := views[dc.Doc]
+		if rk == nil {
+			doc, ok := c.store.Get(dc.Doc)
+			if !ok {
+				return nil, fmt.Errorf("spanjoin: document %d vanished mid-sample", dc.Doc)
+			}
+			if rk, err = sp.Ranked(doc); err != nil {
+				return nil, err
+			}
+			views[dc.Doc] = rk
+		}
+		m, ok := rk.ResultAtBig(within)
+		if !ok {
+			return nil, fmt.Errorf("spanjoin: rank %v inconsistent with count of document %d", within, dc.Doc)
+		}
+		out = append(out, CorpusMatch{Doc: dc.Doc, Match: m})
+	}
+	return out, nil
+}
+
+// Cursor is a resumable position in a paginated corpus evaluation: the
+// compilation mode ("anchor" or "search"), the pattern, and the rank of
+// the next result to serve. Token/ParseCursor round-trip it through an
+// opaque URL-safe string, so services can hand deep-pagination state to
+// clients without keeping any per-client state server-side — resuming a
+// cursor is one EvalSpannerPage call, O(1) per page at any depth.
+type Cursor struct {
+	Mode    string // "anchor" (Compile) or "search" (CompileSearch)
+	Pattern string
+	Offset  uint64
+}
+
+// ErrBadCursor is returned by ParseCursor for tokens that are truncated,
+// corrupted, or not produced by Cursor.Token. Detect with errors.Is.
+var ErrBadCursor = errors.New("spanjoin: malformed page cursor")
+
+// cursorPrefix versions the token format; unknown prefixes are rejected
+// rather than misparsed.
+const cursorPrefix = "sj1."
+
+// cursorPayload is the token's wire form. The checksum rejects tokens
+// corrupted in transit (or hand-edited) before they can misaddress a
+// window.
+type cursorPayload struct {
+	Mode    string `json:"m"`
+	Pattern string `json:"p"`
+	Offset  uint64 `json:"o"`
+	Sum     uint32 `json:"c"`
+}
+
+// sum is the cursor's integrity checksum over every addressing field.
+func (c Cursor) sum() uint32 {
+	return crc32.ChecksumIEEE([]byte(c.Mode + "\x00" + c.Pattern + "\x00" + strconv.FormatUint(c.Offset, 10)))
+}
+
+// Token encodes the cursor as an opaque URL-safe string.
+func (c Cursor) Token() string {
+	b, err := json.Marshal(cursorPayload{Mode: c.Mode, Pattern: c.Pattern, Offset: c.Offset, Sum: c.sum()})
+	if err != nil {
+		// Marshaling strings and integers cannot fail.
+		panic(err)
+	}
+	return cursorPrefix + base64.RawURLEncoding.EncodeToString(b)
+}
+
+// ParseCursor decodes a token produced by Token, rejecting anything
+// malformed or checksum-inconsistent with ErrBadCursor.
+func ParseCursor(tok string) (Cursor, error) {
+	rest, ok := strings.CutPrefix(tok, cursorPrefix)
+	if !ok {
+		return Cursor{}, fmt.Errorf("%w: missing %q prefix", ErrBadCursor, cursorPrefix)
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(rest)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	var p cursorPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return Cursor{}, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	c := Cursor{Mode: p.Mode, Pattern: p.Pattern, Offset: p.Offset}
+	if c.Mode != "anchor" && c.Mode != "search" {
+		return Cursor{}, fmt.Errorf("%w: unknown mode %q", ErrBadCursor, p.Mode)
+	}
+	if c.sum() != p.Sum {
+		return Cursor{}, fmt.Errorf("%w: checksum mismatch", ErrBadCursor)
+	}
+	return c, nil
+}
+
+// Advance returns the cursor positioned after a page that delivered n
+// results. The addition saturates at the maximum uint64 rank instead of
+// wrapping, so a cursor advanced past the end of the addressable space
+// stays terminal — it pages out as exhausted, never back to rank 0.
+func (c Cursor) Advance(n uint64) Cursor {
+	if c.Offset+n < c.Offset {
+		c.Offset = math.MaxUint64
+	} else {
+		c.Offset += n
+	}
+	return c
+}
+
+// EvalCursor serves the page a cursor addresses and returns the advanced
+// cursor for the page after it; more is false when the result sequence is
+// exhausted at (or before) the returned cursor — including the saturation
+// boundary, where ranks past 2^64-1 exist but are not uint64-addressable.
+// The pattern compiles through the corpus cache under the cursor's mode,
+// so resumed cursors share the original query's compiled plan.
+func (c *Corpus) EvalCursor(ctx context.Context, cur Cursor, limit int, opts ...Option) (page *Page, next Cursor, more bool, err error) {
+	switch cur.Mode {
+	case "", "anchor":
+		page, err = c.EvalPage(ctx, cur.Pattern, cur.Offset, limit, opts...)
+	case "search":
+		page, err = c.EvalSearchPage(ctx, cur.Pattern, cur.Offset, limit, opts...)
+	default:
+		return nil, cur, false, fmt.Errorf("%w: unknown mode %q", ErrBadCursor, cur.Mode)
+	}
+	if err != nil {
+		return nil, cur, false, err
+	}
+	next = cur.Advance(uint64(len(page.Matches)))
+	// A short page means the window ran off the end; a saturated advance
+	// means the rest of the sequence is beyond uint64 addressing.
+	if len(page.Matches) == limit && next.Offset > cur.Offset && next.Offset < math.MaxUint64 {
+		if t, fits := page.Total.Uint64(); !fits || next.Offset < t {
+			more = true
+		}
+	}
+	return page, next, more, nil
 }

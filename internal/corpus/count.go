@@ -238,6 +238,14 @@ func (s *Store) PagePlan(ctx context.Context, p *enum.Plan, opt EvalOptions, off
 	if limit <= 0 {
 		return res, nil
 	}
+	// An offset at or past the total is an exhausted page — returned
+	// before any per-document arithmetic, so boundary offsets (up to and
+	// including math.MaxUint64, where offset+limit would wrap a uint64)
+	// can never walk the subtraction loop into a wrapped window. Totals
+	// beyond uint64 always have results at every uint64 offset.
+	if u, fits := cnt.Total.Uint64(); fits && offset >= u {
+		return res, nil
+	}
 	// PerDoc is ascending by DocID — exactly the page order. Documents
 	// wholly before the window are subtracted from offset by count; the
 	// first intersecting document is entered at rank offset.

@@ -237,3 +237,45 @@ func TestPagePlanWithIndex(t *testing.T) {
 		t.Fatal("index skipped nothing")
 	}
 }
+
+// TestPagePlanOffsetBoundary pins the saturating-offset contract: an
+// offset at or past the total — all the way up to math.MaxUint64, where
+// offset+limit arithmetic would wrap a uint64 — is an exhausted page
+// with the exact total, never a wrapped window re-serving rank 0.
+func TestPagePlanOffsetBoundary(t *testing.T) {
+	docs := []string{"aa", "b", "aaa", "", "a", "aaaa"}
+	s, _, p := countStore(t, 2, docs, `a*x{a+}a*`)
+	full, err := s.PagePlan(context.Background(), p, EvalOptions{}, 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, ok := full.Total.Uint64()
+	if !ok || total == 0 {
+		t.Fatalf("bad total %v", full.Total)
+	}
+	for _, off := range []uint64{total, total + 1, ^uint64(0) - 1, ^uint64(0)} {
+		for _, limit := range []int{1, int(total), 1 << 30} {
+			pg, err := s.PagePlan(context.Background(), p, EvalOptions{}, off, limit)
+			if err != nil {
+				t.Fatalf("page(%d,%d): %v", off, limit, err)
+			}
+			if len(pg.Matches) != 0 {
+				t.Fatalf("page(%d,%d): %d matches, want exhausted page", off, limit, len(pg.Matches))
+			}
+			if gt, _ := pg.Total.Uint64(); gt != total {
+				t.Fatalf("page(%d,%d): Total %v, want %d", off, limit, pg.Total, total)
+			}
+		}
+	}
+	// The last addressable window still works right at the edge.
+	pg, err := s.PagePlan(context.Background(), p, EvalOptions{}, total-1, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Matches) != 1 {
+		t.Fatalf("page(total-1): %d matches, want 1", len(pg.Matches))
+	}
+	if pg.Matches[0].Doc != full.Matches[total-1].Doc || pg.Matches[0].Tuple.Compare(full.Matches[total-1].Tuple) != 0 {
+		t.Fatal("page(total-1) is not the last element of the sequence")
+	}
+}

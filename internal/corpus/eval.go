@@ -181,6 +181,15 @@ func (r *Results) Next() (Result, bool) {
 func (r *Results) Err() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed && errors.Is(r.err, context.Canceled) && !errors.Is(r.err, context.DeadlineExceeded) {
+		// The consumer abandoned the stream: its Close races the closer
+		// goroutine recording the pool's (or the caller context's)
+		// cancellation, so whether err holds context.Canceled here is a
+		// scheduling accident. Close means the cancellation was asked for —
+		// report the stable answer, not the race's. Real failures (panic,
+		// budget, deadline) set before Close still surface.
+		return nil
+	}
 	return r.err
 }
 

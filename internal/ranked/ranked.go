@@ -359,6 +359,10 @@ func uniformUint64(rng *rand.Rand, n uint64) uint64 {
 	}
 }
 
+// RandBelow returns a uniform value in [0, n), n > 0 — the weighted-pick
+// primitive corpus-wide sampling shares with SampleWord.
+func RandBelow(rng *rand.Rand, n *big.Int) *big.Int { return randBigBelow(rng, n) }
+
 // randBigBelow returns a uniform value in [0, n) by rejection sampling
 // over n.BitLen() random bits (< 2 rounds expected), consuming all 8
 // bytes of each generator draw.

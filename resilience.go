@@ -1,6 +1,8 @@
 package spanjoin
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"spanjoin/internal/core"
@@ -31,6 +33,10 @@ var ErrBudgetExceeded = resilience.ErrBudgetExceeded
 // struck inside a per-document evaluation (resilience.NoDoc otherwise),
 // and Stack carries the recovered goroutine's stack trace.
 type PanicError = resilience.PanicError
+
+// NoDoc marks a PanicError not attributable to a single document (a panic
+// in the dealer or closer rather than in a shard worker).
+const NoDoc = resilience.NoDoc
 
 // GateStats is a snapshot of the admission gate's counters.
 type GateStats = resilience.GateStats
@@ -81,6 +87,41 @@ func WithLimit(n int) Option {
 			o.Limit = uint64(n)
 		}
 	}
+}
+
+// Failure classes: the engine's error taxonomy as wire-friendly labels.
+// Services map them onto transport status codes (spand uses 429/504/413/
+// 500) and clients map them back onto the typed sentinels, so errors.Is
+// keeps working across a network hop.
+const (
+	FailureOverloaded = "overloaded" // ErrOverloaded: shed at admission
+	FailureDeadline   = "deadline"   // context.DeadlineExceeded: WithTimeout expired
+	FailureBudget     = "budget"     // ErrBudgetExceeded: work budget spent
+	FailurePanic      = "panic"      // *PanicError: recovered engine panic
+	FailureCanceled   = "canceled"   // context.Canceled: caller went away
+)
+
+// FailureClass names an error's place in the engine's failure taxonomy,
+// or "" for errors outside it (compile errors, I/O). The class survives
+// wrapping: any error that errors.Is/As-matches a taxonomy member gets
+// that member's label, deadline taking precedence over bare cancellation.
+func FailureClass(err error) string {
+	var pe *PanicError
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOverloaded):
+		return FailureOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailureDeadline
+	case errors.Is(err, ErrBudgetExceeded):
+		return FailureBudget
+	case errors.As(err, &pe):
+		return FailurePanic
+	case errors.Is(err, context.Canceled):
+		return FailureCanceled
+	}
+	return ""
 }
 
 // WithBudget caps an evaluation's work in abstract units: one unit per

@@ -1,0 +1,133 @@
+//go:build failpoints
+
+package server_test
+
+// Fault-injection suite for the HTTP surface: runs under
+// `go test -tags failpoints ./server`. A panic injected into an engine
+// worker mid-request must fail exactly that request — 500, panic class,
+// poisoned document named — while concurrent requests against the same
+// server complete normally and the process survives.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"spanjoin"
+	"spanjoin/client"
+	"spanjoin/internal/resilience"
+	"spanjoin/server"
+)
+
+// poisonedServer builds a corpus where one document ("zzzz") is poisoned
+// at the given failpoint, served over a real socket. Healthy queries use
+// the literal "ab", which the prefilter resolves before the poisoned
+// document is ever touched.
+func poisonedServer(t *testing.T, failpoint string) (*client.Client, spanjoin.DocID) {
+	t.Helper()
+	c := spanjoin.NewCorpus()
+	for i := 0; i < 24; i++ {
+		c.Add(strings.Repeat("ab", 8))
+	}
+	poisonID := c.Add("zzzz")
+	poison, _ := c.Doc(poisonID)
+	disarm := resilience.Enable(failpoint, resilience.PanicOnArg(poison, "injected"))
+	t.Cleanup(disarm)
+
+	ts := httptest.NewServer(server.New(c, server.Config{}).Handler())
+	t.Cleanup(ts.Close)
+	cl, err := client.New(ts.URL, client.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, poisonID
+}
+
+// checkPanicResponse asserts one failed request carries the full panic
+// contract on the wire: 500, class "panic", the poisoned document's ID.
+func checkPanicResponse(t *testing.T, err error, want spanjoin.DocID) {
+	t.Helper()
+	var re *client.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *client.RemoteError", err)
+	}
+	if re.Status != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", re.Status)
+	}
+	if re.Class != spanjoin.FailurePanic {
+		t.Errorf("class %q, want %q", re.Class, spanjoin.FailurePanic)
+	}
+	if re.Doc == nil {
+		t.Fatal("panic response names no document")
+	}
+	if spanjoin.DocID(*re.Doc) != want {
+		t.Errorf("poisoned doc %d, want %d", *re.Doc, want)
+	}
+}
+
+// TestWorkerPanicFailsOnlyThatRequest injects a panic into the counting
+// worker (which every paged /eval runs through) and checks isolation:
+// the request touching the poisoned document gets its typed 500 while
+// concurrent healthy requests — paginating mid-flight on the same
+// server — all complete.
+func TestWorkerPanicFailsOnlyThatRequest(t *testing.T) {
+	cl, poisonID := poisonedServer(t, resilience.FailCountDoc)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	healthyErrs := make([]error, 4)
+	for i := range healthyErrs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Paginate in small windows so pages interleave with the
+			// poisoned request.
+			req := client.EvalRequest{Pattern: `x{(ab)+}`, Mode: "search", Limit: 3}
+			for {
+				page, err := cl.Eval(ctx, req)
+				if err != nil {
+					healthyErrs[i] = err
+					return
+				}
+				if page.Next == "" {
+					return
+				}
+				req = client.EvalRequest{Cursor: page.Next, Limit: 3}
+			}
+		}()
+	}
+
+	// The poisoned query matches every document, so its counting sweep
+	// must visit "zzzz" and trip the failpoint.
+	_, err := cl.Eval(ctx, client.EvalRequest{Pattern: `x{.*}`, Mode: "search", Limit: 3})
+	checkPanicResponse(t, err, poisonID)
+	wg.Wait()
+	for i, herr := range healthyErrs {
+		if herr != nil {
+			t.Errorf("concurrent healthy request %d failed: %v", i, herr)
+		}
+	}
+
+	// The server survives: the same healthy query still answers.
+	if _, err := cl.Eval(ctx, client.EvalRequest{Pattern: `x{(ab)+}`, Mode: "search", Limit: 3}); err != nil {
+		t.Fatalf("server did not survive the panic: %v", err)
+	}
+}
+
+// TestStreamingPanicSurfacesInTrailer injects the panic into the
+// streaming shard worker — the path /eval's budget mode runs — and
+// checks the mid-stream failure arrives as a trailer error carrying the
+// panic class and document, with the partial page intact.
+func TestStreamingPanicSurfacesInTrailer(t *testing.T) {
+	cl, poisonID := poisonedServer(t, resilience.FailWorkerDoc)
+	// The query's literal requirement is the poisoned document's content,
+	// so the stream cannot end (by limit or exhaustion) without the shard
+	// worker entering it and tripping the failpoint.
+	_, err := cl.Eval(context.Background(),
+		client.EvalRequest{Pattern: `x{zzzz}`, Mode: "search", Limit: 100, Budget: 1 << 30})
+	checkPanicResponse(t, err, poisonID)
+}
