@@ -513,6 +513,8 @@ func BenchmarkCorpusEval(b *testing.B) {
 				if err := ms.Err(); err != nil {
 					b.Fatal(err)
 				}
+				// spanlint/closecheck: release each iteration's stream.
+				ms.Close()
 			}
 		})
 	}
@@ -553,6 +555,10 @@ func BenchmarkEN_RankedCount(b *testing.B) {
 				if _, ok := ms.Next(); !ok {
 					break
 				}
+			}
+			// spanlint/closecheck: a failure here must not read as exhaustion.
+			if err := ms.Err(); err != nil {
+				b.Fatal(err)
 			}
 		}
 	})
@@ -614,6 +620,8 @@ func BenchmarkEN_CorpusCount(b *testing.B) {
 			if err := ms.Err(); err != nil {
 				b.Fatal(err)
 			}
+			// spanlint/closecheck: release each iteration's stream.
+			ms.Close()
 		}
 	})
 }

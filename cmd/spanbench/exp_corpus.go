@@ -57,6 +57,8 @@ func runEC(quick bool) {
 			if err != nil {
 				panic(err)
 			}
+			// spanlint/closecheck: release the stream's pool slot.
+			defer ms.Close()
 			for {
 				if _, ok := ms.Next(); !ok {
 					break
@@ -119,6 +121,8 @@ func runEC(quick bool) {
 			if err := ms.Err(); err != nil {
 				panic(err)
 			}
+			// spanlint/closecheck: release the stream's pool slot.
+			ms.Close()
 			evals++
 		}
 	}

@@ -59,6 +59,8 @@ func erRun(c *spanjoin.Corpus, trial erTrial, perClient int) (lat []time.Duratio
 					}
 				}
 				evalErr = ms.Err()
+				// spanlint/closecheck: release the stream's pool slot.
+				ms.Close()
 				d := time.Since(start)
 				mu.Lock()
 				if evalErr != nil && err == nil {
@@ -121,6 +123,11 @@ func runER(quick bool) {
 			// Warmup compiles the pattern into this corpus's cache.
 			ms, err := c.EvalSearch(context.Background(), erPattern)
 			if err != nil {
+				panic(err)
+			}
+			// spanlint/closecheck: Err then Close, even on the undrained
+			// warmup stream.
+			if err := ms.Err(); err != nil {
 				panic(err)
 			}
 			ms.Close()

@@ -35,6 +35,8 @@ func epPass(c *spanjoin.Corpus, sp *spanjoin.Spanner) (int, spanjoin.EvalStats) 
 	if err != nil {
 		panic(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer ms.Close()
 	n := 0
 	for {
 		if _, ok := ms.Next(); !ok {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -47,7 +48,8 @@ func runEN(quick bool) {
 		})
 		var drained int
 		dDrain := timeIt(func() {
-			ms, err := sp.Iterate(doc)
+			// spanlint/ctxthread: prefer the ctx-aware sibling.
+			ms, err := sp.IterateCtx(context.Background(), doc)
 			if err != nil {
 				panic(err)
 			}
@@ -83,7 +85,8 @@ func runEN(quick bool) {
 		dDescent := timeIt(func() { page = r.Page(off, 10) })
 		var stepped []spanjoin.Match
 		dStep := timeIt(func() {
-			ms, err := sp.Iterate(doc)
+			// spanlint/ctxthread: prefer the ctx-aware sibling.
+			ms, err := sp.IterateCtx(context.Background(), doc)
 			if err != nil {
 				panic(err)
 			}
@@ -98,6 +101,10 @@ func runEN(quick bool) {
 					break
 				}
 				stepped = append(stepped, m)
+			}
+			// spanlint/closecheck: read Err after the drain.
+			if err := ms.Err(); err != nil {
+				panic(err)
 			}
 		})
 		if len(page) != len(stepped) {

@@ -87,20 +87,31 @@ func usagef(format string, a ...any) error {
 // exitCode maps an error to its exit code via the typed error taxonomy.
 // The remote error types of the client package unwrap onto the same
 // sentinels, so a 429 from a spand server exits 4 exactly like a local
-// shed.
+// shed. The switch is over FailureClass — the same classification the
+// server's status map uses — and the annotation below makes spanlint's
+// taxonomy analyzer verify it stays exhaustive: a failure class added
+// to the taxonomy cannot ship without an exit code. Panics and client-
+// side cancellation deliberately share the generic exit: for a CLI both
+// are "the evaluation failed", not a distinct scriptable condition.
+//
+//spanjoin:taxonomy-map
 func exitCode(err error) int {
 	var ue *usageErr
-	switch {
-	case err == nil:
+	if err == nil {
 		return exitOK
-	case errors.As(err, &ue):
+	}
+	if errors.As(err, &ue) {
 		return exitUsage
-	case errors.Is(err, context.DeadlineExceeded):
+	}
+	switch spanjoin.FailureClass(err) {
+	case spanjoin.FailureDeadline:
 		return exitDeadline
-	case errors.Is(err, spanjoin.ErrOverloaded):
+	case spanjoin.FailureOverloaded:
 		return exitOverload
-	case errors.Is(err, spanjoin.ErrBudgetExceeded):
+	case spanjoin.FailureBudget:
 		return exitBudget
+	case spanjoin.FailurePanic, spanjoin.FailureCanceled:
+		return exitErr
 	}
 	return exitErr
 }
@@ -241,7 +252,9 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 		// truncating output.
 		return evalResilient(sp, text, 0, effLimit(*limit, *maxN), *budget, *asJSON, stdout, stderr)
 	}
-	it, err := sp.Iterate(text)
+	// spanlint/ctxthread: IterateCtx, not Iterate — the non-ctx variant
+	// would discard any deadline this path later grows.
+	it, err := sp.IterateCtx(context.Background(), text)
 	if err != nil {
 		return err
 	}
@@ -266,6 +279,11 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 		if capN > 0 && count >= capN {
 			break
 		}
+	}
+	// spanlint/closecheck: a drained stream's Err distinguishes
+	// cancellation from exhaustion.
+	if err := it.Err(); err != nil {
+		return err
 	}
 	fmt.Fprintf(stderr, "%d match(es)\n", count)
 	return nil
@@ -721,6 +739,10 @@ func cmdQuery(args []string, stdout, stderr io.Writer) error {
 		}
 		count++
 		fmt.Fprintln(stdout, m)
+	}
+	// spanlint/closecheck: read Err after the drain loop.
+	if err := ms.Err(); err != nil {
+		return err
 	}
 	fmt.Fprintf(stderr, "%d result(s)\n", count)
 	return nil

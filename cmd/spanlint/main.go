@@ -1,0 +1,118 @@
+// Spanlint machine-checks the engine's cross-cutting invariants: the
+// contracts that every layer of the serving stack re-implements by
+// convention and that ordinary `go vet` cannot see.
+//
+//	usage: spanlint [flags] [packages]
+//
+//	  -only a,b   run only the named analyzers (default: all)
+//	  -tags list  build tags for the load (e.g. failpoints)
+//	  -json       emit diagnostics as a JSON array
+//	  -list       print the analyzers and exit
+//
+// Analyzers:
+//
+//	ctxthread    evaluation entry points thread contexts/deadlines
+//	closecheck   Results/CorpusMatches/Matches are Closed and Err-checked
+//	taxonomy     sentinel errors via errors.Is/As; status maps exhaustive
+//	failpointtag failpoint arming only in failpoints-tagged files
+//	hotpath      //spanjoin:hotpath functions stay alloc-free
+//
+// Exit status is 1 when any diagnostic is reported, 2 on usage or load
+// errors, 0 on a clean tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spanjoin/internal/analysis"
+	"spanjoin/internal/analysis/closecheck"
+	"spanjoin/internal/analysis/ctxthread"
+	"spanjoin/internal/analysis/driver"
+	"spanjoin/internal/analysis/failpointtag"
+	"spanjoin/internal/analysis/hotpath"
+	"spanjoin/internal/analysis/load"
+	"spanjoin/internal/analysis/taxonomy"
+)
+
+// suite is the spanlint analyzer set, in reporting order.
+func suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxthread.Analyzer,
+		closecheck.Analyzer,
+		taxonomy.Analyzer,
+		failpointtag.Analyzer,
+		hotpath.Analyzer,
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("spanlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	tags := fs.String("tags", "", "build tags for the load (e.g. failpoints)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	all := suite()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "spanlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	fset, pkgs, err := load.Load(load.Config{Tags: *tags, Tests: true}, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "spanlint:", err)
+		return 2
+	}
+	res, err := driver.Run(analyzers, fset, pkgs)
+	if err != nil {
+		fmt.Fprintln(stderr, "spanlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := res.PrintJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, "spanlint:", err)
+			return 2
+		}
+	} else {
+		res.Print(stdout)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

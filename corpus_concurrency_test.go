@@ -69,6 +69,8 @@ func TestCorpusConcurrentAddEvalCache(t *testing.T) {
 		if err != nil {
 			return err
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer ms.Close()
 		perDoc := make(map[spanjoin.DocID]int)
 		for {
 			m, ok := ms.Next()

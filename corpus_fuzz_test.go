@@ -89,6 +89,8 @@ func FuzzCorpusVsEval(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer ms.Close()
 		got := make(map[spanjoin.DocID][]span.Tuple)
 		for {
 			m, ok := ms.Next()
@@ -109,6 +111,8 @@ func FuzzCorpusVsEval(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer msIdx.Close()
 		gotIdx := make(map[spanjoin.DocID][]span.Tuple)
 		for {
 			m, ok := msIdx.Next()

@@ -70,6 +70,8 @@ func TestCorpusCountQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer ref.Close()
 	want := uint64(0)
 	for {
 		if _, ok := ref.Next(); !ok {
@@ -105,6 +107,8 @@ func TestCorpusCountQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer eqRef.Close()
 	wantEq := uint64(0)
 	for {
 		if _, ok := eqRef.Next(); !ok {

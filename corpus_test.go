@@ -127,6 +127,10 @@ func TestCorpusMatchBindsDocument(t *testing.T) {
 			t.Fatalf("match %q does not occur in its document %q", m.Match.MustSubstr("mail"), doc)
 		}
 	}
+	// spanlint/closecheck: a failure here must not read as exhaustion.
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
 	// The unanchored pattern also matches sub-spans of each address; the
 	// full addresses must be among them.
 	if !found["alice@example.org"] || !found["bob@example.net"] {
@@ -143,6 +147,10 @@ func TestCorpusCompiledQueryCache(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		ms, err := c.Eval(ctx, `x{a+}b?`)
 		if err != nil {
+			t.Fatal(err)
+		}
+		// spanlint/closecheck: check the stream before releasing it.
+		if err := ms.Err(); err != nil {
 			t.Fatal(err)
 		}
 		ms.Close()
@@ -254,6 +262,8 @@ func TestCorpusEvalCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer ms.Close()
 	for i := 0; i < 5; i++ {
 		if _, ok := ms.Next(); !ok {
 			t.Fatal("stream ended before cancel")

@@ -16,6 +16,10 @@ func ExampleCompile() {
 	for m, ok := it.Next(); ok; m, ok = it.Next() {
 		fmt.Println(m.MustSubstr("key"), "->", m.MustSubstr("val"))
 	}
+	// spanlint/closecheck: a failure here must not read as exhaustion.
+	if err := it.Err(); err != nil {
+		fmt.Println("iterate failed:", err)
+	}
 	// Output:
 	// timeout -> 30
 }

@@ -93,6 +93,10 @@ func main() {
 			log.Fatalf("membership check failed: %v %v", ok2, err)
 		}
 	}
+	// spanlint/closecheck: read Err after the drain loop.
+	if err := diff.Err(); err != nil {
+		log.Fatal(err)
+	}
 	if count == 0 {
 		fmt.Println("  (none in this document)")
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,9 @@ func main() {
 	doc := "dear team, please cc alice@example.org and bob@dev.example.net " +
 		"on the report. archived under records@corp.org."
 
-	it, err := sp.Iterate(doc)
+	// spanlint/ctxthread: the ctx-aware sibling keeps the example honest
+	// about cancellation — real callers thread a request context here.
+	it, err := sp.IterateCtx(context.Background(), doc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,5 +43,9 @@ func main() {
 		mail, _ := m.Span("mail")
 		fmt.Printf("  %-28s user=%-8s domain=%-16s at %v\n",
 			m.MustSubstr("mail"), m.MustSubstr("user"), m.MustSubstr("domain"), mail)
+	}
+	// spanlint/closecheck: Err separates cancellation from exhaustion.
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

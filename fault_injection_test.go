@@ -49,6 +49,8 @@ func TestInjectedWorkerPanic(t *testing.T) {
 				healthyErrs[i] = err
 				return
 			}
+			// spanlint/closecheck: release the stream's pool slot.
+			defer ms.Close()
 			for {
 				if _, ok := ms.Next(); !ok {
 					break
@@ -62,6 +64,8 @@ func TestInjectedWorkerPanic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer ms.Close()
 	for {
 		if _, ok := ms.Next(); !ok {
 			break
@@ -101,6 +105,10 @@ func TestInjectedCacheFillPanic(t *testing.T) {
 		t.Fatalf("after disarm: %v", err)
 	}
 	ms.Close()
+	// spanlint/closecheck: the recovered key must not carry a stale fault.
+	if err := ms.Err(); err != nil {
+		t.Fatalf("after disarm Err = %v, want nil", err)
+	}
 }
 
 // TestInjectedPlanPanic: a panic during snapshot planning (the index
@@ -153,6 +161,8 @@ func TestInjectedDealerDelay(t *testing.T) {
 			}
 			return
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer ms.Close()
 		for {
 			if _, ok := ms.Next(); !ok {
 				break
@@ -183,6 +193,8 @@ func TestInjectedCancellation(t *testing.T) {
 			}
 			return
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer ms.Close()
 		for {
 			if _, ok := ms.Next(); !ok {
 				break
@@ -209,6 +221,8 @@ func TestInjectedDealerPanic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer ms.Close()
 		for {
 			if _, ok := ms.Next(); !ok {
 				break

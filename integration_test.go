@@ -151,6 +151,10 @@ func TestIntegrationDifference(t *testing.T) {
 			t.Errorf("difference leaked even-length %q", m.MustSubstr("x"))
 		}
 	}
+	// spanlint/closecheck: a failure here must not read as exhaustion.
+	if err := ms.Err(); err != nil {
+		t.Fatal(err)
+	}
 	// "aba" has odd-length substrings a(×2), b, aba: spans [2,3⟩,[3,4⟩,[4,5⟩,[2,5⟩.
 	if count != 4 {
 		t.Errorf("got %d odd-length matches, want 4", count)

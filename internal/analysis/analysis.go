@@ -1,0 +1,127 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, built on the standard
+// library only (go/ast, go/types, go/importer) so the repo's custom
+// analyzers — the spanlint suite — need nothing outside the Go
+// toolchain. It deliberately mirrors the x/tools shape (Analyzer, Pass,
+// Diagnostic) so the suite can migrate to the real multichecker
+// unchanged if the dependency ever becomes available.
+//
+// Two deviations from x/tools, both deliberate:
+//
+//   - Units, not compilations: a Pass analyzes one package view
+//     including its in-package _test.go files (and external test
+//     packages as their own view), because several spanlint invariants
+//     — unclosed streams, sentinel comparisons, failpoint arming —
+//     live mostly in test and example code.
+//
+//   - Program-level facts: instead of per-object serialized facts, an
+//     analyzer's Run may record arbitrary values on the Pass, and an
+//     optional Finish hook sees every package's facts at once. That is
+//     how the taxonomy analyzer implements its cross-file consistency
+//     check (a sentinel added to internal/resilience but missing from
+//     the server status map or the spanctl exit-code table).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -only selection and
+	// JSON output. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description printed by spanlint -help.
+	Doc string
+	// Run analyzes one package view and reports diagnostics via
+	// pass.Report. Returning an error aborts the whole lint run — it
+	// means the analyzer itself failed, not that the code is bad.
+	Run func(pass *Pass) error
+	// Finish, if non-nil, runs once after every package's Run with the
+	// facts they exported; it implements whole-program checks. Reported
+	// diagnostics join the per-package ones.
+	Finish func(prog *Program) []Diagnostic
+}
+
+// Pass carries one package view through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package view's syntax, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package. For an augmented view it includes
+	// in-package test declarations.
+	Pkg *types.Package
+	// TypesInfo records types, definitions, uses and selections for the
+	// view's syntax.
+	TypesInfo *types.Info
+	// ImportPath is the package's import path; external test packages
+	// carry the " [xtest]" suffix.
+	ImportPath string
+
+	diags *[]Diagnostic
+	facts *[]Fact
+}
+
+// NewPass assembles a Pass; drivers and the analysistest harness call
+// it, analyzers never do.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, importPath string, diags *[]Diagnostic, facts *[]Fact) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		ImportPath: importPath,
+		diags:      diags,
+		facts:      facts,
+	}
+}
+
+// Reportf reports a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact records a program-level fact for the analyzer's Finish hook.
+func (p *Pass) ExportFact(value any) {
+	*p.facts = append(*p.facts, Fact{Package: p.ImportPath, Value: value})
+}
+
+// Fact is one value exported by a Run for its analyzer's Finish.
+type Fact struct {
+	Package string
+	Value   any
+}
+
+// Diagnostic is one reported violation, position resolved.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Program is the whole-program view handed to Finish hooks.
+type Program struct {
+	Fset *token.FileSet
+	// Facts are the values exported by this analyzer's Runs, in package
+	// load order.
+	Facts []Fact
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	name := fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

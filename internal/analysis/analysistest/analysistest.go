@@ -1,0 +1,162 @@
+// Package analysistest runs one analyzer over a golden fixture tree and
+// compares its output against // want "regexp" comments in the fixture
+// sources.
+//
+// A fixture tree is a self-contained module (a testdata directory with
+// its own go.mod, so the enclosing module's go tool ignores it) whose
+// packages are loaded with the same loader the spanlint driver uses —
+// fixtures therefore exercise the real load/typecheck/Finish pipeline,
+// not a mock. Expectations are trailing comments on the offending line:
+//
+//	ms, _ := open() // want "never Closed" "without checking"
+//
+// Each quoted string is a regular expression that must match the message
+// of exactly one diagnostic reported on that line. For diagnostics that
+// anchor at a comment (e.g. an allocation-gate directive), where a
+// trailing comment is impossible, a want-above comment on the following
+// line applies to the line before it:
+//
+//	//spanjoin:allocgate fixture/hot.ghost
+//	// want-above "not annotated"
+//
+// Diagnostics with no matching expectation, and expectations with no
+// matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spanjoin/internal/analysis"
+	"spanjoin/internal/analysis/driver"
+	"spanjoin/internal/analysis/load"
+)
+
+// expectation is one want regexp with its anchor line and consumption
+// state.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the fixture module under dir with the given build tags
+// (comma-separated, usually empty) and applies the analyzer to the
+// packages matched by patterns ("./..." for the whole fixture tree).
+func Run(t *testing.T, a *analysis.Analyzer, dir, tags string, patterns ...string) {
+	t.Helper()
+	fset, pkgs, err := load.Load(load.Config{Dir: dir, Tags: tags, Tests: true}, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages under %s", dir)
+	}
+	res, err := driver.Run([]*analysis.Analyzer{a}, fset, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, fset, pkgs)
+	for _, d := range res.Diagnostics {
+		if !consume(wants, filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// consume marks the first unmet expectation on file:line whose regexp
+// matches msg.
+func consume(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.met && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantMarker = regexp.MustCompile(`//\s*want(-above)?\s`)
+
+// collectWants extracts every want comment from the loaded fixture
+// syntax. Files shared between package views are scanned once.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	seen := map[string]bool{}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			pos := fset.Position(file.Pos())
+			if seen[pos.Filename] {
+				continue
+			}
+			seen[pos.Filename] = true
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					loc := wantMarker.FindStringSubmatchIndex(c.Text)
+					if loc == nil {
+						continue
+					}
+					line := fset.Position(c.Pos()).Line
+					if loc[2] >= 0 { // the -above form anchors one line up
+						line--
+					}
+					base := filepath.Base(pos.Filename)
+					for _, raw := range parseWantStrings(t, base, line, c.Text[loc[1]:]) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", base, line, raw, err)
+						}
+						wants = append(wants, &expectation{file: base, line: line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantStrings reads the sequence of Go-quoted strings after a want
+// marker.
+func parseWantStrings(t *testing.T, file string, line int, rest string) []string {
+	t.Helper()
+	var out []string
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" || rest[0] != '"' {
+			break
+		}
+		end := 1
+		for end < len(rest) && rest[end] != '"' {
+			if rest[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(rest) {
+			t.Fatalf("%s:%d: unterminated want string in %q", file, line, rest)
+		}
+		s, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want string %q: %v", file, line, rest[:end+1], err)
+		}
+		out = append(out, s)
+		rest = rest[end+1:]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: want comment with no quoted regexp", file, line)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+// Package closecheck enforces the stream-lifecycle contract of the
+// engine's result types (PR 6 made Close idempotent and Err mandatory;
+// PR 7 put both on the wire): every acquired Results, CorpusMatches or
+// Matches must reach Close (when the type has one) and have its Err
+// read — otherwise worker pools linger until the abandoned-stream
+// reaper runs, and mid-stream failures (deadline, budget, a recovered
+// panic) are silently mistaken for exhaustion.
+//
+// The check is lostcancel-style but syntactic: a function that acquires
+// a stream locally must mention v.Close() (directly or deferred,
+// including inside a closure) and v.Err(). Values that escape — stored
+// in a struct, returned, passed to another function — transfer the
+// obligation to their new owner and are not flagged. The packages that
+// declare a stream type are exempt: their implementation manages the
+// lifecycle below the public contract.
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"spanjoin/internal/analysis"
+)
+
+// StreamTypes matches the names of the result-stream types under
+// contract. A type must also expose Err() to be considered; Close is
+// required exactly when the type has a Close method.
+var StreamTypes = regexp.MustCompile(`^(Results|Matches|CorpusMatches)$`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "acquired result streams must be Closed and Err-checked\n\n" +
+		"Every locally held Results/CorpusMatches/Matches must reach Close " +
+		"(when the type has one) and have Err read after the drain loop; " +
+		"escaping values pass the obligation to their new owner.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// streamType reports whether t is (a pointer to) a stream type under
+// contract, and whether that type has a Close method.
+func streamType(pass *analysis.Pass, t types.Type) (isStream, needClose bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !StreamTypes.MatchString(named.Obj().Name()) {
+		return false, false
+	}
+	if named.Obj().Pkg() == pass.Pkg {
+		// The declaring package's own implementation is exempt.
+		return false, false
+	}
+	var hasErr bool
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Err":
+			hasErr = true
+		case "Close":
+			needClose = true
+		}
+	}
+	return hasErr, needClose
+}
+
+// acquisition is one local variable bound to a stream.
+type acquisition struct {
+	obj       types.Object
+	pos       ast.Node
+	name      string
+	needClose bool
+	closed    bool
+	errRead   bool
+	escaped   bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	acquired := map[types.Object]*acquisition{}
+
+	// Pass 1: find local stream acquisitions v := f(...) / v, err := f(...).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Only fresh results of calls count as acquisitions; plain
+		// aliasing (v := w) keeps the obligation on the original.
+		if len(as.Rhs) != 1 {
+			return true
+		}
+		if _, ok := as.Rhs[0].(*ast.CallExpr); !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			isStream, needClose := streamType(pass, obj.Type())
+			if !isStream {
+				continue
+			}
+			if _, seen := acquired[obj]; !seen {
+				acquired[obj] = &acquisition{obj: obj, pos: id, name: id.Name, needClose: needClose}
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+
+	// Pass 2: for each acquisition, find Close/Err calls and escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// v.Close() / v.Err()
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if a := acquired[pass.TypesInfo.Uses[id]]; a != nil {
+						switch sel.Sel.Name {
+						case "Close":
+							a.closed = true
+						case "Err":
+							a.errRead = true
+						}
+					}
+				}
+			}
+			// v passed as an argument escapes.
+			for _, arg := range n.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					if a := acquired[pass.TypesInfo.Uses[id]]; a != nil {
+						a.escaped = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := r.(*ast.Ident); ok {
+					if a := acquired[pass.TypesInfo.Uses[id]]; a != nil {
+						a.escaped = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing v anywhere but a plain local (field, map, slice
+			// element, dereference) escapes it.
+			for i, rhs := range n.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				a := acquired[pass.TypesInfo.Uses[id]]
+				if a == nil {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if _, plain := n.Lhs[i].(*ast.Ident); !plain {
+						a.escaped = true
+					} else {
+						a.escaped = true // local alias: obligation follows the alias conservatively
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if id, ok := n.Value.(*ast.Ident); ok {
+				if a := acquired[pass.TypesInfo.Uses[id]]; a != nil {
+					a.escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := e.(*ast.Ident); ok {
+					if a := acquired[pass.TypesInfo.Uses[id]]; a != nil {
+						a.escaped = true
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// &v escapes.
+			if id, ok := n.X.(*ast.Ident); ok {
+				if a := acquired[pass.TypesInfo.Uses[id]]; a != nil {
+					a.escaped = true
+				}
+			}
+		}
+		return true
+	})
+
+	for _, a := range acquired {
+		if a.escaped {
+			continue
+		}
+		if a.needClose && !a.closed {
+			pass.Reportf(a.pos.Pos(),
+				"%s acquired here is never Closed: its worker pool and admission slot are held until the abandoned-stream reaper runs (defer %s.Close())",
+				a.name, a.name)
+		}
+		if !a.errRead {
+			pass.Reportf(a.pos.Pos(),
+				"%s is drained without checking %s.Err(): a deadline, budget or recovered panic would be silently mistaken for exhaustion",
+				a.name, a.name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/analysis/analysistest"
+	"spanjoin/internal/analysis/closecheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, closecheck.Analyzer, "testdata/src", "", "./...")
+}

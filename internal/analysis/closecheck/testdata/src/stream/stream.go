@@ -1,0 +1,39 @@
+// Package stream declares the fixture result streams; as the declaring
+// package it is exempt from its own lifecycle contract.
+package stream
+
+// Results has the full contract: Close and Err.
+type Results struct{ err error }
+
+// Open acquires a Results stream.
+func Open() *Results { return &Results{} }
+
+// Next advances the stream.
+func (r *Results) Next() bool { return false }
+
+// Close releases the stream.
+func (r *Results) Close() {}
+
+// Err reports the terminal error.
+func (r *Results) Err() error { return r.err }
+
+// Matches has Err but no Close: only the Err half of the contract
+// applies to holders.
+type Matches struct{ err error }
+
+// Iterate acquires a Matches stream.
+func Iterate() *Matches { return &Matches{} }
+
+// Next advances the stream.
+func (m *Matches) Next() bool { return false }
+
+// Err reports the terminal error.
+func (m *Matches) Err() error { return m.err }
+
+// selfUse shows the declaring-package exemption: no obligation here.
+func selfUse() {
+	r := Open()
+	r.Next()
+}
+
+var _ = selfUse

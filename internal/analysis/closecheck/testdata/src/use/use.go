@@ -1,0 +1,76 @@
+// Package use consumes the fixture streams and demonstrates each
+// closecheck outcome.
+package use
+
+import "fixture/stream"
+
+// Leaks drops both halves of the contract.
+func Leaks() {
+	r := stream.Open() // want "never Closed" "without checking"
+	for r.Next() {
+	}
+}
+
+// ErrOnly reads Err but never Closes.
+func ErrOnly() {
+	r := stream.Open() // want "never Closed"
+	for r.Next() {
+	}
+	if r.Err() != nil {
+		panic("stream error")
+	}
+}
+
+// CloseOnly Closes but never reads Err.
+func CloseOnly() {
+	r := stream.Open() // want "without checking"
+	defer r.Close()
+	for r.Next() {
+	}
+}
+
+// Clean fulfills the whole contract.
+func Clean() error {
+	r := stream.Open()
+	defer r.Close()
+	for r.Next() {
+	}
+	return r.Err()
+}
+
+// DrainMatches drains a Close-less stream without reading Err.
+func DrainMatches() {
+	m := stream.Iterate() // want "without checking"
+	for m.Next() {
+	}
+}
+
+// DrainMatchesClean reads Err; with no Close method that is the whole
+// contract.
+func DrainMatchesClean() error {
+	m := stream.Iterate()
+	for m.Next() {
+	}
+	return m.Err()
+}
+
+// Escapes returns the stream: the caller inherits the obligation.
+func Escapes() *stream.Results {
+	r := stream.Open()
+	return r
+}
+
+// HandsOff passes the stream on: the sink inherits the obligation.
+func HandsOff(sink func(*stream.Results)) {
+	r := stream.Open()
+	sink(r)
+}
+
+// Aliased re-binds the stream: the obligation conservatively follows
+// the alias.
+func Aliased() error {
+	r := stream.Open()
+	r2 := r
+	defer r2.Close()
+	return r2.Err()
+}

@@ -1,0 +1,16 @@
+package ctxthread_test
+
+import (
+	"regexp"
+	"testing"
+
+	"spanjoin/internal/analysis/analysistest"
+	"spanjoin/internal/analysis/ctxthread"
+)
+
+func TestAnalyzer(t *testing.T) {
+	old := ctxthread.Scope
+	ctxthread.Scope = regexp.MustCompile(`^fixture/serving$`)
+	defer func() { ctxthread.Scope = old }()
+	analysistest.Run(t, ctxthread.Analyzer, "testdata/src", "", "./...")
+}

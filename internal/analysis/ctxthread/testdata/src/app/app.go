@@ -1,0 +1,21 @@
+// Package app is production code calling the serving surface: the
+// non-ctx variant of a function with a Ctx sibling is flagged here.
+package app
+
+import (
+	"context"
+
+	"fixture/serving"
+)
+
+// Use drives the serving surface.
+func Use() int {
+	n := serving.EvalDoc("x") // want "call to EvalDoc discards the caller's deadline"
+	n += serving.EvalDocCtx(context.Background(), "x")
+	n += serving.EvalDocs([]string{"x"}) // no sibling: rule 1's problem at the declaration, not ours
+	n += serving.CountRunes(context.Background(), "x")
+	var c serving.Corpus
+	n += c.Eval("x") // want "call to Eval discards the caller's deadline"
+	n += c.EvalCtx(context.Background(), "x")
+	return n
+}

@@ -1,0 +1,15 @@
+// Test files are exempt from the call rule: the non-ctx wrappers need
+// their own coverage.
+package app
+
+import (
+	"testing"
+
+	"fixture/serving"
+)
+
+func TestWrapper(t *testing.T) {
+	if serving.EvalDoc("x") != 1 {
+		t.Fatal("EvalDoc")
+	}
+}

@@ -1,0 +1,84 @@
+// Package driver runs a set of analyzers over loaded packages and
+// renders their diagnostics — the multichecker core of cmd/spanlint.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"spanjoin/internal/analysis"
+	"spanjoin/internal/analysis/load"
+)
+
+// Result is the outcome of one lint run.
+type Result struct {
+	Diagnostics []analysis.Diagnostic
+}
+
+// Run applies each analyzer to every package, then runs Finish hooks
+// with the accumulated facts. Diagnostics come back sorted by position.
+func Run(analyzers []*analysis.Analyzer, fset *token.FileSet, pkgs []*load.Package) (*Result, error) {
+	res := &Result{}
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		var facts []analysis.Fact
+		for _, p := range pkgs {
+			pass := analysis.NewPass(a, fset, p.Files, p.Types, p.Info, p.ImportPath, &diags, &facts)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, p.ImportPath, err)
+			}
+		}
+		if a.Finish != nil {
+			diags = append(diags, a.Finish(&analysis.Program{Fset: fset, Facts: facts})...)
+		}
+		res.Diagnostics = append(res.Diagnostics, diags...)
+	}
+	sort.SliceStable(res.Diagnostics, func(i, j int) bool {
+		di, dj := res.Diagnostics[i].Pos, res.Diagnostics[j].Pos
+		if di.Filename != dj.Filename {
+			return di.Filename < dj.Filename
+		}
+		if di.Line != dj.Line {
+			return di.Line < dj.Line
+		}
+		return di.Column < dj.Column
+	})
+	return res, nil
+}
+
+// Print renders diagnostics as file:line:col: [analyzer] message lines.
+func (r *Result) Print(w io.Writer) {
+	for _, d := range r.Diagnostics {
+		fmt.Fprintln(w, d.String())
+	}
+}
+
+// jsonDiagnostic is the -json wire form of one diagnostic.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// PrintJSON renders diagnostics as a JSON array (spanlint -json), the
+// format the CI lint job turns into GitHub check annotations.
+func (r *Result) PrintJSON(w io.Writer) error {
+	out := make([]jsonDiagnostic, 0, len(r.Diagnostics))
+	for _, d := range r.Diagnostics {
+		out = append(out, jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

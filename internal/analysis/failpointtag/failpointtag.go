@@ -1,0 +1,124 @@
+// Package failpointtag enforces the failpoint build discipline (PR 6
+// introduced the registry): code that arms failpoints — Enable and the
+// Action constructors PanicAction, SleepAction, PanicOnArg — must live
+// in a file constrained by the `failpoints` build tag.
+//
+// The trap this closes is silent: in untagged builds Enable compiles to
+// a no-op that returns a do-nothing disarm function. A test that arms a
+// hook from an untagged file builds, runs, and passes — while injecting
+// nothing. The failure it was written to exercise is never exercised,
+// and the suite reports green on a path it never took. Requiring the
+// build tag on the arming file means such a test either runs with real
+// hooks (`go test -tags failpoints`) or does not run at all.
+//
+// Inject call sites are deliberately exempt: hooks are compiled into
+// production paths and erased by the untagged no-op — that is the whole
+// design. Only arming is tag-gated. The defining package is exempt too:
+// it declares both halves of the dual.
+package failpointtag
+
+import (
+	"go/ast"
+	"go/build/constraint"
+	"go/types"
+
+	"spanjoin/internal/analysis"
+)
+
+// Tag is the build tag that must constrain every arming file.
+const Tag = "failpoints"
+
+// armingNames is the registry's arming surface. Referencing any of
+// these only makes sense when arming a hook.
+var armingNames = map[string]bool{
+	"Enable":      true,
+	"PanicAction": true,
+	"SleepAction": true,
+	"PanicOnArg":  true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "failpointtag",
+	Doc: "failpoint arming is confined to //go:build failpoints files\n\n" +
+		"Enable/PanicAction/SleepAction/PanicOnArg compile to no-ops in " +
+		"untagged builds, so a test arming a hook from an untagged file " +
+		"passes while injecting nothing; the arming file must carry the " +
+		"failpoints build constraint.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if requiresTag(file, Tag) {
+			continue
+		}
+		checkFile(pass, file)
+	}
+	return nil
+}
+
+// requiresTag reports whether the file carries a build constraint that
+// excludes it from builds lacking the tag — i.e. the constraint
+// evaluates false when the tag is absent. A bare `//go:build failpoints`
+// satisfies this; so does any conjunction that includes the tag.
+func requiresTag(file *ast.File, tag string) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break // build constraints must precede the package clause
+		}
+		for _, c := range cg.List {
+			var expr constraint.Expr
+			if constraint.IsGoBuild(c.Text) {
+				expr, _ = constraint.Parse(c.Text)
+			} else if constraint.IsPlusBuild(c.Text) {
+				expr, _ = constraint.Parse(c.Text)
+			}
+			if expr == nil {
+				continue
+			}
+			without := expr.Eval(func(t string) bool { return false })
+			with := expr.Eval(func(t string) bool { return t == tag })
+			if !without && with {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// failpointPkg reports whether pkg is a failpoint registry package: it
+// declares the FailpointsEnabled constant that names the build dual.
+func failpointPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	_, ok := pkg.Scope().Lookup("FailpointsEnabled").(*types.Const)
+	return ok
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	if failpointPkg(pass.Pkg) {
+		return // the defining package declares both halves of the dual
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !armingNames[id.Name] {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !failpointPkg(obj.Pkg()) {
+			return true
+		}
+		if _, ok := obj.(*types.Func); !ok {
+			return true
+		}
+		kind := "failpoint action constructor"
+		if id.Name == "Enable" {
+			kind = "failpoint arming call"
+		}
+		pass.Reportf(id.Pos(),
+			"%s %s in a file without the %s build tag: in untagged builds this is a no-op and the test passes without injecting anything — add //go:build %s to this file",
+			kind, id.Name, Tag, Tag)
+		return true
+	})
+}

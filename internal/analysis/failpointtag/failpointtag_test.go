@@ -1,0 +1,19 @@
+package failpointtag_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/analysis/analysistest"
+	"spanjoin/internal/analysis/failpointtag"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, failpointtag.Analyzer, "testdata/src", "", "./...")
+}
+
+// TestAnalyzerTagged loads the fixture with the failpoints tag: the
+// tagged arming file joins the build and must stay clean, while the
+// untagged armer keeps its diagnostics.
+func TestAnalyzerTagged(t *testing.T) {
+	analysistest.Run(t, failpointtag.Analyzer, "testdata/src", "failpoints", "./...")
+}

@@ -1,0 +1,12 @@
+//go:build failpoints
+
+// A file constrained by the failpoints tag may arm freely: it only
+// exists in builds where arming is real.
+package armer
+
+import "fixture/fp"
+
+// ArmTagged arms a hook from inside the tagged build.
+func ArmTagged() {
+	defer fp.Enable("hook", fp.SleepAction(1))()
+}

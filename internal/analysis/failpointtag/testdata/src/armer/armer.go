@@ -1,0 +1,20 @@
+// Package armer arms fixture failpoints from an untagged file: every
+// arming reference is flagged, Inject stays exempt.
+package armer
+
+import "fixture/fp"
+
+// Arm arms a hook without the build tag.
+func Arm() {
+	disarm := fp.Enable("hook", fp.PanicAction("boom")) // want "arming call Enable" "action constructor PanicAction"
+	defer disarm()
+	fp.Inject("hook", nil)
+}
+
+// Actions builds actions without the build tag.
+func Actions() []fp.Action {
+	return []fp.Action{
+		fp.SleepAction(5), // want "action constructor SleepAction"
+		fp.PanicOnArg(3),  // want "action constructor PanicOnArg"
+	}
+}

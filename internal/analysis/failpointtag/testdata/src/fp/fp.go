@@ -1,0 +1,40 @@
+// Package fp is the failpoint registry fixture: declaring
+// FailpointsEnabled marks it as the build dual, which exempts it from
+// the tag rule and makes its arming surface recognizable.
+package fp
+
+// FailpointsEnabled names the build dual.
+const FailpointsEnabled = false
+
+// Action is an armed behavior.
+type Action struct{}
+
+// Enable arms a hook and returns its disarm function.
+func Enable(name string, a Action) func() {
+	_, _ = name, a
+	return func() {}
+}
+
+// PanicAction panics when the hook fires.
+func PanicAction(msg string) Action {
+	_ = msg
+	return Action{}
+}
+
+// SleepAction stalls the hook.
+func SleepAction(ms int) Action {
+	_ = ms
+	return Action{}
+}
+
+// PanicOnArg panics when the hook argument matches.
+func PanicOnArg(arg any) Action {
+	_ = arg
+	return Action{}
+}
+
+// Inject fires a hook: call sites are exempt everywhere — hooks are
+// compiled into production paths by design.
+func Inject(name string, arg any) {
+	_, _ = name, arg
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/analysis/analysistest"
+	"spanjoin/internal/analysis/hotpath"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer, "testdata/src", "", "./...")
+}

@@ -1,0 +1,63 @@
+// Package hot is the hotpath golden fixture: annotated kernels tripping
+// each body rule, plus a deliberate gate/annotation mismatch.
+package hot
+
+import "fmt"
+
+// point is a tiny composite for the literal-allocation case.
+type point struct{ x, y int }
+
+var sink []int
+
+// box is a local interface-taking helper (not fmt, so argument boxing
+// is reported rather than the formatting call).
+func box(v any) int {
+	_ = v
+	return 0
+}
+
+// Sum is a clean hot path: arithmetic and self-appends only.
+//
+//spanjoin:hotpath
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	xs = append(xs, t)
+	xs = append(xs[:0], t)
+	return t + len(xs)
+}
+
+// Violate trips every body rule once.
+//
+//spanjoin:hotpath
+func Violate(xs []int, s string, other []int) int {
+	buf := make([]int, 4)        // want "allocates with make"
+	q := new(point)              // want "allocates with new"
+	f := func() int { return 1 } // want "creates a closure"
+	p := &point{1, 2}            // want "address of a composite literal"
+	b := []byte(s)               // want "converts between string and"
+	v := any(len(xs))            // want "boxing allocates"
+	fmt.Println(len(xs))         // want "must not format"
+	n := box(len(s))             // want "boxing allocates"
+	sink = append(other, 1)      // want "growing a foreign slice"
+	return len(buf) + q.x + f() + p.y + len(b) + n + box(v) + Sum(other)
+}
+
+// Ungated is annotated but no allocation gate names it.
+//
+//spanjoin:hotpath
+func Ungated(xs []int) int { // want "no alloctest assertion gates it"
+	return len(xs)
+}
+
+// The gate set: Sum and Violate are gated; Ghost is gated but carries
+// no hotpath annotation — the mismatch the cross-check must flag.
+//
+//spanjoin:allocgate fixture/hot.Sum fixture/hot.Violate
+//spanjoin:allocgate fixture/hot.Ghost
+// want-above "allocation gate names fixture/hot.Ghost which is not annotated"
+
+// Ghost exists but is not annotated.
+func Ghost() {}

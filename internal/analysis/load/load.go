@@ -1,0 +1,316 @@
+// Package load turns `go list` output into type-checked package views
+// for the spanlint analyzers, using only the standard library.
+//
+// The usual loader for go/analysis drivers is golang.org/x/tools/go/
+// packages; this repo vendors no third-party code, so load re-derives
+// the small slice of it spanlint needs:
+//
+//   - `go list -json -deps -test -export` resolves the import graph,
+//     compiles dependencies into the build cache, and reports the
+//     export-data file of every external package — which go/importer's
+//     gc importer can read directly via a lookup function.
+//
+//   - Packages of the module under analysis are type-checked from
+//     source in dependency order, so analyzers see syntax trees and
+//     full type information for every first-party file.
+//
+//   - Test code is covered by following go list's own test variants:
+//     for each tested package p, `go list -test` emits `p [p.test]`
+//     (p's sources plus its in-package _test.go files), recompiles of
+//     every intermediate dependency against it, and the external test
+//     package `p_test [p.test]` — each with an ImportMap routing
+//     source-level imports to the right variant. Typechecking that
+//     graph verbatim gives test files exactly the types a real
+//     `go test` build gives them (no diamond of two instances of one
+//     package). Analyzers then run once per source file: on `p [p.test]`
+//     (reported as p), on `p_test [p.test]` (reported as "p [xtest]"),
+//     and on untested packages directly; intermediate recompiles are
+//     type-checked but not re-analyzed.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked analysis unit.
+type Package struct {
+	// ImportPath is the package's import path; the external test view
+	// carries a " [xtest]" suffix.
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output load consumes.
+// ImportPath is the variant-qualified key (`p [q.test]` for test
+// variants); ForTest names q for variants and is empty otherwise.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// basePath strips the ` [q.test]` variant qualifier.
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// Config tunes a Load call.
+type Config struct {
+	// Dir is the working directory for `go list` (the module root or any
+	// directory inside it). Empty means the current directory.
+	Dir string
+	// Tags is a comma-separated build-tag list passed to `go list` (e.g.
+	// "failpoints"), empty for the default build.
+	Tags string
+	// Tests, when false, skips test files and external test packages.
+	Tests bool
+}
+
+// Load lists, parses and type-checks the packages matched by patterns.
+func Load(cfg Config, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := []string{"list", "-e", "-json", "-deps", "-export"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	if cfg.Tags != "" {
+		args = append(args, "-tags", cfg.Tags)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFor := map[string]string{} // plain import path -> export data file
+	module := map[string]*listPackage{}
+	var order []string // module package keys in go list (dependency-first) order
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Name == "main" && strings.HasSuffix(p.ImportPath, ".test") {
+			continue // synthetic test binary: generated main in the build cache
+		}
+		if p.Export != "" && p.ForTest == "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			if _, ok := module[p.ImportPath]; !ok {
+				cp := p
+				module[p.ImportPath] = &cp
+				order = append(order, p.ImportPath)
+			}
+		}
+	}
+	if len(module) == 0 {
+		return nil, nil, fmt.Errorf("no module packages matched %v", patterns)
+	}
+
+	// A package with a self test variant (`p [p.test]` — p's sources plus
+	// in-package test files) is analyzed through the variant, not the
+	// plain compile.
+	selfVariant := map[string]bool{}
+	for key, p := range module {
+		if p.ForTest != "" && p.ForTest == basePath(key) && !strings.HasSuffix(p.Name, "_test") {
+			selfVariant[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		gc:       importer.ForCompiler(fset, "gc", lookupIn(exportFor)),
+		typesFor: map[string]*types.Package{},
+		module:   module,
+	}
+	var pkgs []*Package
+	for _, key := range topoSort(order, module) {
+		p := module[key]
+		unit, err := ld.check(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case p.ForTest == "" && selfVariant[p.ImportPath]:
+			// Plain compile of a tested package: its files are analyzed
+			// via the test variant; keep the types for dependents only.
+		case p.ForTest != "" && strings.HasSuffix(p.Name, "_test"):
+			unit.ImportPath = p.ForTest + " [xtest]"
+			pkgs = append(pkgs, unit)
+		case p.ForTest != "" && p.ForTest != basePath(key):
+			// Intermediate recompile (`dep [q.test]`): same sources as the
+			// plain dep, re-typechecked against q's augmented view. Needed
+			// for resolution, already analyzed elsewhere.
+		case p.ForTest != "":
+			unit.ImportPath = p.ForTest
+			pkgs = append(pkgs, unit)
+		default:
+			pkgs = append(pkgs, unit)
+		}
+	}
+	return fset, pkgs, nil
+}
+
+// lookupIn adapts the export-file map to go/importer's lookup signature.
+func lookupIn(exportFor map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// topoSort orders module package keys dependency-first. `go list -deps`
+// already emits dependencies before dependents, but -test interleaves
+// variant subgraphs, so re-derive the order defensively. Variant
+// entries list their resolved (variant-qualified) imports directly.
+func topoSort(order []string, module map[string]*listPackage) []string {
+	var out []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(key string)
+	visit = func(key string) {
+		if state[key] != 0 {
+			return
+		}
+		state[key] = 1
+		if p := module[key]; p != nil {
+			deps := append([]string(nil), p.Imports...)
+			sort.Strings(deps)
+			for _, d := range deps {
+				if _, ok := module[d]; ok {
+					visit(d)
+				}
+			}
+			out = append(out, key)
+		}
+		state[key] = 2
+	}
+	for _, key := range order {
+		visit(key)
+	}
+	return out
+}
+
+type loader struct {
+	fset     *token.FileSet
+	gc       types.Importer
+	typesFor map[string]*types.Package // checked module packages by variant key
+	module   map[string]*listPackage
+}
+
+// resolve is the importer the type checker uses for one package: source
+// import paths route through the package's ImportMap to the right test
+// variant, then to the in-memory module packages, then to gc export
+// data — the same resolution a real `go test` build performs.
+type resolve struct {
+	ld        *loader
+	importMap map[string]string
+}
+
+func (r resolve) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	if p, ok := r.ld.typesFor[path]; ok {
+		return p, nil
+	}
+	return r.ld.gc.Import(basePath(path))
+}
+
+// parse loads one source file with comments (analyzers read directives).
+func (ld *loader) parse(dir, name string) (*ast.File, error) {
+	if strings.HasPrefix(name, "/") {
+		return parser.ParseFile(ld.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+	}
+	return parser.ParseFile(ld.fset, dir+"/"+name, nil, parser.ParseComments|parser.SkipObjectResolution)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// check parses and type-checks one module package (plain or variant)
+// and registers its types for dependents.
+func (ld *loader) check(p *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range append(append([]string(nil), p.GoFiles...), p.CgoFiles...) {
+		f, err := ld.parse(p.Dir, name)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	var firstErr error
+	conf := types.Config{
+		Importer: resolve{ld: ld, importMap: p.ImportMap},
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(basePath(p.ImportPath), ld.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	ld.typesFor[p.ImportPath] = pkg
+	return &Package{
+		ImportPath: p.ImportPath, Dir: p.Dir,
+		Files: files, Types: pkg, Info: info,
+	}, nil
+}

@@ -1,0 +1,78 @@
+package load
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoadModule loads the whole module with tests and checks the views
+// analyzers depend on: augmented packages carry _test.go syntax,
+// external test packages appear as their own [xtest] units, and type
+// information resolves across both module-internal and stdlib imports.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	fset, pkgs, err := Load(Config{Tests: true}, "spanjoin/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	byPath := map[string]bool{}
+	var hasXTest bool
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = true
+		if strings.HasSuffix(p.ImportPath, " [xtest]") {
+			hasXTest = true
+		}
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Errorf("%s: incomplete package view", p.ImportPath)
+		}
+	}
+	for _, want := range []string{"spanjoin", "spanjoin/server", "spanjoin/client", "spanjoin/internal/corpus", "spanjoin/internal/enum"} {
+		if !byPath[want] {
+			t.Errorf("missing package %s", want)
+		}
+	}
+	if !hasXTest {
+		t.Error("no external test package loaded; xtest views are part of the lint surface")
+	}
+	// A package with in-package tests must surface them in its (single)
+	// analysis view — the test variant replaces the plain compile.
+	var sawTestFile bool
+	for _, p := range pkgs {
+		if p.ImportPath != "spanjoin/internal/enum" {
+			continue
+		}
+		for _, f := range p.Files {
+			if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+				sawTestFile = true
+			}
+		}
+	}
+	if !sawTestFile {
+		t.Error("internal/enum view has no _test.go files; invariants cover tests")
+	}
+	if !byPath["spanjoin [xtest]"] {
+		t.Error("root external test package not loaded as spanjoin [xtest]")
+	}
+	_ = token.NewFileSet()
+}
+
+// TestLoadProdOnly checks the Tests=false view excludes test files.
+func TestLoadProdOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	fset, pkgs, err := Load(Config{}, "spanjoin/internal/enum")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			if name := fset.Position(f.Pos()).Filename; strings.HasSuffix(name, "_test.go") {
+				t.Errorf("prod-only load included %s", name)
+			}
+		}
+	}
+}

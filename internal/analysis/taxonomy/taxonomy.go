@@ -1,0 +1,339 @@
+// Package taxonomy enforces the error-taxonomy contract (PR 6 defined
+// it, PR 7 stretched it over the wire):
+//
+//  1. Sentinel errors — ErrOverloaded, ErrBudgetExceeded,
+//     context.DeadlineExceeded, context.Canceled — may only be tested
+//     with errors.Is, never == or !=, and *PanicError only with
+//     errors.As, never a type assertion or type switch. Wrapped errors
+//     (RemoteError from the client package, %w chains) make == silently
+//     false: the comparison compiles, passes local tests against bare
+//     sentinels, and misclassifies every error that crossed a layer.
+//     The defining package (internal/resilience) is exempt.
+//
+//  2. Cross-file consistency: every failure class the taxonomy declares
+//     (the Failure* constants next to FailureClass) must be handled by
+//     every taxonomy map in the tree — the functions annotated
+//     //spanjoin:taxonomy-map, i.e. the server's status mapping and
+//     spanctl's exit-code table. Adding a sentinel to the taxonomy
+//     without teaching each consumer its wire/exit mapping fails the
+//     build. Any switch over FailureClass(err) in an unannotated
+//     function is itself an error, so a consumer cannot silently opt
+//     out of the exhaustiveness check.
+package taxonomy
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"spanjoin/internal/analysis"
+)
+
+// Directive marks a function as a taxonomy map: it must handle every
+// declared failure class.
+const Directive = "//spanjoin:taxonomy-map"
+
+// sentinelNames are the error variables that must be compared with
+// errors.Is. DeadlineExceeded and Canceled are matched in package
+// context; the others wherever a taxonomy package declares them.
+var sentinelNames = regexp.MustCompile(`^(ErrOverloaded|ErrBudgetExceeded)$`)
+
+// panicTypeNames are the error types that must be matched with
+// errors.As rather than asserted.
+var panicTypeNames = regexp.MustCompile(`^PanicError$`)
+
+// exemptPkg matches packages allowed to touch sentinels structurally:
+// the taxonomy's defining layer.
+var exemptPkg = regexp.MustCompile(`(^|/)resilience$`)
+
+// classConst matches the failure-class constants of the taxonomy.
+var classConst = regexp.MustCompile(`^Failure[A-Z]\w*$`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "taxonomy",
+	Doc: "sentinel errors via errors.Is/As; taxonomy maps stay exhaustive\n\n" +
+		"Sentinels (ErrOverloaded, ErrBudgetExceeded, context.DeadlineExceeded, " +
+		"context.Canceled) must be tested with errors.Is and *PanicError with " +
+		"errors.As; every //spanjoin:taxonomy-map function must handle every " +
+		"declared Failure* class.",
+	Run:    run,
+	Finish: finish,
+}
+
+// classesFact records the failure classes a package declares (it is a
+// taxonomy-defining package: it has FailureClass and Failure* consts).
+type classesFact struct {
+	classes []string
+}
+
+// mapFact records one annotated taxonomy map and the classes it handles.
+type mapFact struct {
+	fn      string
+	pos     token.Pos
+	end     token.Pos
+	handled map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	exempt := exemptPkg.MatchString(pass.Pkg.Path()) || exemptPkg.MatchString(pass.Pkg.Name())
+
+	// Collect declared classes if this package defines the taxonomy.
+	if classes := declaredClasses(pass); classes != nil {
+		pass.ExportFact(&classesFact{classes: classes})
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			annotated := hasDirective(fd.Doc)
+			if annotated {
+				pass.ExportFact(&mapFact{
+					fn:      fd.Name.Name,
+					pos:     fd.Name.Pos(),
+					end:     fd.End(),
+					handled: handledClasses(pass, fd),
+				})
+			}
+			if !exempt {
+				checkComparisons(pass, fd)
+				if !annotated {
+					checkUnannotatedSwitch(pass, fd)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredClasses returns the Failure* constants of a package that also
+// declares func FailureClass — the taxonomy's defining surface.
+func declaredClasses(pass *analysis.Pass) []string {
+	scope := pass.Pkg.Scope()
+	if _, ok := scope.Lookup("FailureClass").(*types.Func); !ok {
+		return nil
+	}
+	var classes []string
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && classConst.MatchString(name) {
+			if b, ok := c.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				classes = append(classes, name)
+			}
+		}
+	}
+	sort.Strings(classes)
+	return classes
+}
+
+// handledClasses collects every Failure* constant a function's body
+// references — switch cases, if-chains and map lookups all count, so
+// the exhaustiveness check does not prescribe one shape.
+func handledClasses(pass *analysis.Pass, fd *ast.FuncDecl) map[string]bool {
+	handled := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && classConst.MatchString(c.Name()) {
+			handled[c.Name()] = true
+		}
+		return true
+	})
+	return handled
+}
+
+// isSentinel reports whether the expression resolves to a taxonomy
+// sentinel error variable.
+func isSentinel(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !isErrorType(v.Type()) {
+		return "", false
+	}
+	if sentinelNames.MatchString(v.Name()) {
+		return v.Name(), true
+	}
+	if v.Pkg().Path() == "context" && (v.Name() == "DeadlineExceeded" || v.Name() == "Canceled") {
+		return "context." + v.Name(), true
+	}
+	return "", false
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isPanicErrType reports whether the type is (a pointer to) a taxonomy
+// panic error type.
+func isPanicErrType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && panicTypeNames.MatchString(named.Obj().Name())
+}
+
+// checkComparisons flags ==/!= against sentinels and type
+// assertions/switches on panic error types.
+func checkComparisons(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, e := range []ast.Expr{n.X, n.Y} {
+				if name, ok := isSentinel(pass, e); ok {
+					pass.Reportf(n.Pos(),
+						"%s compared with %s: wrapped errors (client RemoteError, %%w chains) make this silently false — use errors.Is",
+						name, n.Op)
+				}
+			}
+		case *ast.SwitchStmt:
+			// switch err { case ErrOverloaded: } is == in disguise.
+			if n.Tag == nil {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(n.Tag); t == nil || !isErrorType(t) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if name, ok := isSentinel(pass, e); ok {
+						pass.Reportf(e.Pos(),
+							"%s used as a switch case over an error value: this is == in disguise — use errors.Is",
+							name)
+					}
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if n.Type == nil {
+				return true // x.(type) handled via TypeSwitchStmt cases
+			}
+			if t := pass.TypesInfo.TypeOf(n.Type); t != nil && isPanicErrType(t) {
+				pass.Reportf(n.Pos(),
+					"type assertion on %s: wrapped panics escape it — use errors.As",
+					types.TypeString(t, nil))
+			}
+		case *ast.TypeSwitchStmt:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				cc, ok := m.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					if t := pass.TypesInfo.TypeOf(e); t != nil && isPanicErrType(t) {
+						pass.Reportf(e.Pos(),
+							"type switch case on %s: wrapped panics escape it — use errors.As",
+							types.TypeString(t, nil))
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// checkUnannotatedSwitch flags switches over FailureClass(err) in
+// functions that lack the taxonomy-map annotation: without it the
+// exhaustiveness check cannot see them.
+func checkUnannotatedSwitch(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		call, ok := sw.Tag.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if f, ok := pass.TypesInfo.Uses[id].(*types.Func); ok && f.Name() == "FailureClass" {
+			pass.Reportf(sw.Pos(),
+				"switch over FailureClass result in %s: annotate the function with %s so the exhaustiveness check covers it",
+				fd.Name.Name, Directive)
+		}
+		return true
+	})
+}
+
+// finish joins the per-package facts: every annotated map must handle
+// every declared class.
+func finish(prog *analysis.Program) []analysis.Diagnostic {
+	classes := map[string]bool{}
+	var maps []*mapFact
+	for _, f := range prog.Facts {
+		switch v := f.Value.(type) {
+		case *classesFact:
+			for _, c := range v.classes {
+				classes[c] = true
+			}
+		case *mapFact:
+			maps = append(maps, v)
+		}
+	}
+	if len(classes) == 0 {
+		return nil
+	}
+	var diags []analysis.Diagnostic
+	for _, m := range maps {
+		var missing []string
+		for c := range classes {
+			if !m.handled[c] {
+				missing = append(missing, c)
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			diags = append(diags, analysis.Diagnostic{
+				Analyzer: "taxonomy",
+				Pos:      prog.Fset.Position(m.pos),
+				Message: "taxonomy map " + m.fn + " does not handle " + strings.Join(missing, ", ") +
+					": a failure class was added to the taxonomy without a mapping here",
+			})
+		}
+	}
+	return diags
+}

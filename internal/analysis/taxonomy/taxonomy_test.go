@@ -1,0 +1,12 @@
+package taxonomy_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/analysis/analysistest"
+	"spanjoin/internal/analysis/taxonomy"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, taxonomy.Analyzer, "testdata/src", "", "./...")
+}

@@ -1,0 +1,66 @@
+// Package consumer maps failure classes to statuses and demonstrates
+// every banned comparison shape.
+package consumer
+
+import (
+	"context"
+	"errors"
+
+	"fixture/errs"
+)
+
+// statusOf is the annotated taxonomy map. It handles Overloaded and
+// Deadline but not Budget, so the cross-file exhaustiveness check must
+// flag it.
+//
+//spanjoin:taxonomy-map
+func statusOf(err error) int { // want "taxonomy map statusOf does not handle FailureBudget"
+	switch errs.FailureClass(err) {
+	case errs.FailureOverloaded:
+		return 503
+	case errs.FailureDeadline:
+		return 504
+	}
+	return 500
+}
+
+// compare trips each structural-comparison rule once.
+func compare(err error) bool {
+	if err == errs.ErrOverloaded { // want "ErrOverloaded compared with =="
+		return true
+	}
+	if err != errs.ErrBudgetExceeded { // want "ErrBudgetExceeded compared with !="
+		return false
+	}
+	if err == context.DeadlineExceeded { // want "context.DeadlineExceeded compared with =="
+		return true
+	}
+	switch err {
+	case errs.ErrOverloaded: // want "ErrOverloaded used as a switch case over an error value"
+		return true
+	}
+	if _, ok := err.(*errs.PanicError); ok { // want "type assertion on"
+		return true
+	}
+	switch err.(type) {
+	case *errs.PanicError: // want "type switch case on"
+		return true
+	}
+	return errors.Is(err, errs.ErrOverloaded)
+}
+
+// unannotated switches over FailureClass without the directive: it
+// would dodge the exhaustiveness check, so the switch itself is flagged.
+func unannotated(err error) int {
+	switch errs.FailureClass(err) { // want "annotate the function with"
+	case errs.FailureOverloaded:
+		return 1
+	}
+	return 0
+}
+
+var (
+	_ = statusOf
+	_ = compare
+	_ = unannotated
+)

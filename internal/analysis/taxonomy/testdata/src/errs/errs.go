@@ -1,0 +1,42 @@
+// Package errs is the taxonomy-defining fixture: sentinels, a panic
+// carrier, the failure classes and their classifier. FailureBudget is
+// the class the annotated map in package consumer fails to handle — the
+// negative exhaustiveness case.
+package errs
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors of the fixture taxonomy.
+var (
+	ErrOverloaded     = errors.New("overloaded")
+	ErrBudgetExceeded = errors.New("budget exceeded")
+)
+
+// PanicError carries a recovered panic.
+type PanicError struct{ msg string }
+
+// Error implements error.
+func (e *PanicError) Error() string { return e.msg }
+
+// The declared failure classes.
+const (
+	FailureOverloaded = "overloaded"
+	FailureDeadline   = "deadline"
+	FailureBudget     = "budget"
+)
+
+// FailureClass classifies err into one of the constants above.
+func FailureClass(err error) string {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return FailureOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailureDeadline
+	case errors.Is(err, ErrBudgetExceeded):
+		return FailureBudget
+	}
+	return ""
+}

@@ -84,6 +84,8 @@ func (r Row) Any() bool {
 
 // Intersects reports whether r ∩ o is non-empty, without materializing the
 // intersection — the word-parallel liveness test of the backward prune.
+//
+//spanjoin:hotpath
 func (r Row) Intersects(o Row) bool {
 	for i, w := range r {
 		if w&o[i] != 0 {
@@ -180,6 +182,8 @@ func (m *Matrix) Row(i int) Row {
 // advances a whole frontier through a precomposed transition matrix with
 // word operations only, no per-transition branches. src indexes the
 // matrix's rows; dst must span the matrix's column universe.
+//
+//spanjoin:hotpath
 func (m *Matrix) MulOr(dst, src Row) {
 	for wi, w := range src {
 		base := wi << wordShift

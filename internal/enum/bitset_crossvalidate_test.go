@@ -184,6 +184,10 @@ func TestResetAllocsSteadyState(t *testing.T) {
 		e.Reset(s)
 		drain()
 	}
+	// This assertion gates the matrix sweep and the bitset kernels it is
+	// fused from.
+	//
+	//spanjoin:allocgate spanjoin/internal/enum.(*Enumerator).buildMatrix spanjoin/internal/bitset.(*Matrix).MulOr spanjoin/internal/bitset.Row.Intersects
 	avg := alloctest.Run(t, 20, func() {
 		e.Reset(s)
 		drain()

@@ -353,6 +353,8 @@ func (e *Enumerator) interrupted(i int) bool {
 // build constructs the layered graph for s into e's arenas. It sets e.empty
 // when [[A]](s) = ∅. Plans compiled without a table (PrepareOnce, the
 // differential reference) take the per-transition pass.
+//
+//spanjoin:hotpath
 func (e *Enumerator) build(s string) {
 	if e.refBuild || e.tt == nil {
 		e.buildTransitions(s)
@@ -368,6 +370,8 @@ func (e *Enumerator) build(s string) {
 // successor set straight off its precomputed matrix row — no per-transition
 // work anywhere; δ, the byte membership tests and the variable-ε closure
 // were all folded into the matrices at plan compilation.
+//
+//spanjoin:hotpath
 func (e *Enumerator) buildMatrix(s string) {
 	t, tt := e.auto, e.tt
 	n := t.NumStates()
@@ -801,6 +805,8 @@ func (e *Enumerator) Empty() bool { return e.empty }
 
 // Next returns the next tuple in radix order. ok is false when the
 // enumeration is exhausted.
+//
+//spanjoin:hotpath
 func (e *Enumerator) Next() (t span.Tuple, ok bool) {
 	if e.empty || e.done {
 		return nil, false

@@ -89,6 +89,10 @@ func TestInterruptAllocsSteadyState(t *testing.T) {
 		e.Reset(s)
 		drain()
 	}
+	// This assertion gates the whole Reset+drain path, entry dispatch and
+	// tuple cursor included.
+	//
+	//spanjoin:allocgate spanjoin/internal/enum.(*Enumerator).build spanjoin/internal/enum.(*Enumerator).Next
 	avg := alloctest.Run(t, 20, func() {
 		e.Reset(s)
 		drain()

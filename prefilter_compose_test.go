@@ -46,6 +46,8 @@ func TestJoinCarriesPrefilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer ms.Close()
 	count := map[spanjoin.DocID]int{}
 	for {
 		m, ok := ms.Next()
@@ -101,6 +103,8 @@ func TestProjectCarriesPrefilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// spanlint/closecheck: release the stream's pool slot.
+	defer cms.Close()
 	n := 0
 	for {
 		if _, ok := cms.Next(); !ok {
@@ -199,6 +203,8 @@ func TestEvalQueryPrefilters(t *testing.T) {
 		if st.Scanned != 1 || st.Skipped != 3 {
 			t.Fatalf("opts %v: stats = %+v, want 1 scanned / 3 skipped", opts, st)
 		}
+		// spanlint/closecheck: release each round's stream before the next.
+		ms.Close()
 	}
 }
 
@@ -275,6 +281,8 @@ func TestEvalQueryAgreesWithIterate(t *testing.T) {
 			if err := ms.Err(); err != nil {
 				t.Fatal(err)
 			}
+			// spanlint/closecheck: release the exhausted stream.
+			ms.Close()
 			for i, doc := range docs {
 				it, err := q.Iterate(doc, spanjoin.WithStrategy(strat))
 				if err != nil {
@@ -287,6 +295,10 @@ func TestEvalQueryAgreesWithIterate(t *testing.T) {
 						break
 					}
 					want[matchKey(m)]++
+				}
+				// spanlint/closecheck: a failure here must not read as exhaustion.
+				if err := it.Err(); err != nil {
+					t.Fatal(err)
 				}
 				have := got[ids[i]]
 				if len(have) == 0 && len(want) == 0 {
@@ -318,6 +330,8 @@ func TestIndexedCorpusMatchesUnindexed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// spanlint/closecheck: release the stream's pool slot.
+		defer ms.Close()
 		count := map[spanjoin.DocID]int{}
 		for {
 			m, ok := ms.Next()

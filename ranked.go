@@ -1,10 +1,12 @@
 package spanjoin
 
 import (
+	"context"
 	"math/big"
 	"math/rand"
 	"strconv"
 
+	"spanjoin/internal/core"
 	"spanjoin/internal/enum"
 	"spanjoin/internal/ranked"
 	"spanjoin/internal/span"
@@ -52,9 +54,12 @@ func (c MatchCount) String() string {
 // Count returns the exact number of matches of the spanner on doc without
 // enumerating them: one layered-graph build plus the ranked path-count DP
 // (internal/ranked) — time independent of the result count, which Eval
-// would pay in full.
-func (s *Spanner) Count(doc string) (MatchCount, error) {
-	r, err := s.Ranked(doc)
+// would pay in full. WithTimeout bounds the graph build, the document-
+// length-dependent part (the ctxthread contract for counting entry
+// points); an interrupted build reports context.DeadlineExceeded rather
+// than a silent zero.
+func (s *Spanner) Count(doc string, opts ...Option) (MatchCount, error) {
+	r, err := s.rankedOpts(doc, buildOptions(opts))
 	if err != nil {
 		return MatchCount{}, err
 	}
@@ -64,9 +69,10 @@ func (s *Spanner) Count(doc string) (MatchCount, error) {
 // Sample returns k matches drawn i.i.d. uniformly from the result set on
 // doc (with replacement) without enumerating it; nil when there are no
 // matches. Uniformity is exact at any result-set size, including counts
-// beyond uint64.
-func (s *Spanner) Sample(doc string, rng *rand.Rand, k int) ([]Match, error) {
-	r, err := s.Ranked(doc)
+// beyond uint64. WithTimeout bounds the underlying graph build, as for
+// Count.
+func (s *Spanner) Sample(doc string, rng *rand.Rand, k int, opts ...Option) ([]Match, error) {
+	r, err := s.rankedOpts(doc, buildOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +96,14 @@ type Ranked struct {
 // graph build plus one path-count DP — independent of how many matches
 // there are; the spanner's compiled plan is memoized as usual.
 func (s *Spanner) Ranked(doc string) (*Ranked, error) {
+	return s.rankedOpts(doc, core.Options{})
+}
+
+// rankedOpts is Ranked with the resilience knobs applied: a Timeout
+// interrupts the layered-graph build (its cost is document-length
+// dependent; the DP that follows is not) and surfaces as the context's
+// DeadlineExceeded instead of an empty view.
+func (s *Spanner) rankedOpts(doc string, o core.Options) (*Ranked, error) {
 	if s.prefilterEmpty(doc) {
 		return &Ranked{vars: s.auto.Vars, doc: doc}, nil
 	}
@@ -97,7 +111,18 @@ func (s *Spanner) Ranked(doc string) (*Ranked, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Ranked{e: p.Prepare(doc), vars: p.Vars(), doc: doc}, nil
+	if o.Timeout <= 0 {
+		return &Ranked{e: p.Prepare(doc), vars: p.Vars(), doc: doc}, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), o.Timeout)
+	defer cancel()
+	e := p.NewEnumerator()
+	e.SetInterrupt(func() bool { return ctx.Err() != nil })
+	e.Reset(doc)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Ranked{e: e, vars: p.Vars(), doc: doc}, nil
 }
 
 // Count returns the exact number of matches in O(1) after the view's

@@ -118,6 +118,10 @@ func TestMatchesSkipVsNext(t *testing.T) {
 			}
 			rest = append(rest, m)
 		}
+		// spanlint/closecheck: a failure here must not read as exhaustion.
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
 		if len(rest) != len(want)-int(wantSkip) {
 			t.Fatalf("after Skip(%d): %d matches, want %d", k, len(rest), len(want)-int(wantSkip))
 		}
@@ -140,6 +144,10 @@ func TestMatchesSkipVsNext(t *testing.T) {
 	if !ok || matchKey(m) != matchKey(want[5]) {
 		t.Fatalf("Next,Next,Skip(3),Next = %v, want match 5 %v", m, want[5])
 	}
+	// spanlint/closecheck: the stepped iterator must not have faulted.
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestMatchesSkipFallback covers the drain fallback on iterators that are
@@ -161,6 +169,10 @@ func TestMatchesSkipFallback(t *testing.T) {
 	m, ok := it.Next()
 	if !ok || matchKey(m) != matchKey(all[2]) {
 		t.Fatalf("after fallback skip: %v, want %v", m, all[2])
+	}
+	// spanlint/closecheck: the fallback iterator must not have faulted.
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -55,6 +55,8 @@ func TestErrorTaxonomy(t *testing.T) {
 				}
 				return
 			}
+			// spanlint/closecheck: release the stream's pool slot.
+			defer ms.Close()
 			for {
 				if _, ok := ms.Next(); !ok {
 					break
@@ -70,6 +72,8 @@ func TestErrorTaxonomy(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// spanlint/closecheck: release the stream's pool slot.
+			defer ms.Close()
 			for {
 				if _, ok := ms.Next(); !ok {
 					break
@@ -88,6 +92,8 @@ func TestErrorTaxonomy(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// spanlint/closecheck: release the stream's pool slot.
+			defer ms.Close()
 			n := 0
 			for {
 				if _, ok := ms.Next(); !ok {
@@ -121,6 +127,10 @@ func TestErrorTaxonomy(t *testing.T) {
 			if st := c.GateStats(); st.Rejected == 0 || st.Active != 1 {
 				t.Fatalf("GateStats = %+v, want Active 1 and Rejected > 0", st)
 			}
+			// spanlint/closecheck: the undrained holder must not have faulted.
+			if err := ms.Err(); err != nil {
+				t.Fatalf("holder Err = %v, want nil", err)
+			}
 		})
 	}
 }
@@ -145,6 +155,10 @@ func TestCountHonorsLimits(t *testing.T) {
 	}
 	if _, err := g.CountSearch(context.Background(), resiliencePattern); !errors.Is(err, spanjoin.ErrOverloaded) {
 		t.Fatalf("count under overload: %v, want ErrOverloaded", err)
+	}
+	// spanlint/closecheck: the undrained holder must not have faulted.
+	if err := ms.Err(); err != nil {
+		t.Fatalf("holder Err = %v, want nil", err)
 	}
 }
 
@@ -172,7 +186,8 @@ func TestQueueAdmitsFIFO(t *testing.T) {
 			queuedDone <- errors.New("queued query produced nothing")
 			return
 		}
-		queuedDone <- nil
+		// spanlint/closecheck: report the queued stream's Err to the waiter.
+		queuedDone <- q.Err()
 	}()
 
 	// Wait until the second query is actually parked in the wait queue.
@@ -186,6 +201,10 @@ func TestQueueAdmitsFIFO(t *testing.T) {
 	// Queue full: a third query sheds.
 	if _, err := c.EvalSearch(context.Background(), resiliencePattern); !errors.Is(err, spanjoin.ErrOverloaded) {
 		t.Fatalf("third query err = %v, want ErrOverloaded", err)
+	}
+	// spanlint/closecheck: the holder must not have faulted while parked.
+	if err := ms.Err(); err != nil {
+		t.Fatalf("holder Err = %v, want nil", err)
 	}
 	// Releasing the slot admits the queued query.
 	ms.Close()
@@ -228,6 +247,36 @@ func TestCorpusMatchesCloseConcurrent(t *testing.T) {
 	}
 }
 
+// drainAbandoned consumes the stream to exhaustion and asserts its
+// terminal Err, deliberately without Close: each TestNoGoroutineLeaks
+// path must reap the worker pool through its own termination mode
+// alone. Receiving the stream as a parameter takes over its lifecycle
+// obligation (spanlint/closecheck's escape rule), which this helper
+// intentionally leaves unfulfilled.
+func drainAbandoned(t *testing.T, ms *spanjoin.CorpusMatches, want error) {
+	t.Helper()
+	for {
+		if _, ok := ms.Next(); !ok {
+			break
+		}
+	}
+	err := ms.Err()
+	switch {
+	case want == nil && err != nil:
+		t.Fatalf("Err = %v, want nil", err)
+	case want != nil && !errors.Is(err, want):
+		t.Fatalf("Err = %v, want %v", err, want)
+	}
+}
+
+// abandonStream reads one result and drops the stream: ownership (and
+// the close obligation) transfers here and is never fulfilled, so only
+// the GC cleanup attached to the public wrapper can reap the pool —
+// exactly the path the abandoned leak subtest exercises.
+func abandonStream(ms *spanjoin.CorpusMatches) {
+	ms.Next()
+}
+
 // TestNoGoroutineLeaks drives every lifecycle path of a corpus
 // evaluation and asserts the worker pool (including the shard dealer) is
 // gone afterwards.
@@ -239,11 +288,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for {
-				if _, ok := ms.Next(); !ok {
-					break
-				}
-			}
+			drainAbandoned(t, ms, nil)
 		})
 	})
 	t.Run("closed-early", func(t *testing.T) {
@@ -255,6 +300,10 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			}
 			ms.Next()
 			ms.Close()
+			// spanlint/closecheck: a closed stream reports a clean Err.
+			if err := ms.Err(); err != nil {
+				t.Fatalf("Err after early Close = %v, want nil", err)
+			}
 		})
 	})
 	t.Run("cancelled", func(t *testing.T) {
@@ -267,14 +316,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			}
 			ms.Next()
 			cancel()
-			for {
-				if _, ok := ms.Next(); !ok {
-					break
-				}
-			}
-			if err := ms.Err(); !errors.Is(err, context.Canceled) {
-				t.Fatalf("Err = %v, want context.Canceled", err)
-			}
+			drainAbandoned(t, ms, context.Canceled)
 		})
 	})
 	t.Run("deadline", func(t *testing.T) {
@@ -284,11 +326,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			if err != nil {
 				return
 			}
-			for {
-				if _, ok := ms.Next(); !ok {
-					break
-				}
-			}
+			drainAbandoned(t, ms, context.DeadlineExceeded)
 		})
 	})
 	t.Run("shed", func(t *testing.T) {
@@ -301,6 +339,10 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			ms.Next()
 			if _, err := c.EvalSearch(context.Background(), resiliencePattern); !errors.Is(err, spanjoin.ErrOverloaded) {
 				t.Fatalf("err = %v, want ErrOverloaded", err)
+			}
+			// spanlint/closecheck: check the holder before releasing it.
+			if err := ms.Err(); err != nil {
+				t.Fatalf("holder Err = %v, want nil", err)
 			}
 			ms.Close()
 		})
@@ -318,7 +360,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ms.Next()
+				abandonStream(ms)
 			}()
 		})
 	})

@@ -162,9 +162,23 @@ func (s *Spanner) Stats() (states, transitions int) {
 }
 
 // Eval materializes all matches of the spanner on doc, in the engine's
-// deterministic (radix) order.
-func (s *Spanner) Eval(doc string) ([]Match, error) {
-	it, err := s.Iterate(doc)
+// deterministic (radix) order. Unlike Iterate, Eval drains internally —
+// the caller never holds the iterator — so the resilience options apply
+// here: WithTimeout bounds the whole evaluation (spanlint's ctxthread
+// analyzer requires every such entry point to carry a deadline) and
+// WithLimit caps the number of materialized matches. A fired timeout is
+// reported as context.DeadlineExceeded, never as an empty result.
+func (s *Spanner) Eval(doc string, opts ...Option) ([]Match, error) {
+	o := buildOptions(opts)
+	var it *Matches
+	var err error
+	if o.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), o.Timeout)
+		defer cancel()
+		it, err = s.IterateCtx(ctx, doc)
+	} else {
+		it, err = s.Iterate(doc)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -172,9 +186,15 @@ func (s *Spanner) Eval(doc string) ([]Match, error) {
 	for {
 		m, ok := it.Next()
 		if !ok {
+			if err := it.Err(); err != nil {
+				return nil, err
+			}
 			return out, nil
 		}
 		out = append(out, m)
+		if o.Limit > 0 && uint64(len(out)) >= o.Limit {
+			return out, nil
+		}
 	}
 }
 
@@ -320,14 +340,33 @@ func (st *Stream) Iterate(doc string) (*Matches, error) {
 }
 
 // EvalAll evaluates the spanner on every document through one reused
-// enumerator, returning per-document match sets indexed like docs.
-func (s *Spanner) EvalAll(docs []string) ([][]Match, error) {
+// enumerator, returning per-document match sets indexed like docs. The
+// resilience options apply across the whole call: WithTimeout bounds
+// total wall-clock over all documents (the ctxthread contract for batch
+// entry points) and WithLimit caps each document's match set.
+func (s *Spanner) EvalAll(docs []string, opts ...Option) ([][]Match, error) {
+	o := buildOptions(opts)
+	ctx := context.Background()
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
 	st := s.NewStream()
 	out := make([][]Match, len(docs))
 	for i, doc := range docs {
-		ms, err := st.Eval(doc)
+		var ms []Match
+		var err error
+		if o.Timeout > 0 {
+			ms, err = st.EvalCtx(ctx, doc)
+		} else {
+			ms, err = st.Eval(doc)
+		}
 		if err != nil {
 			return nil, err
+		}
+		if o.Limit > 0 && uint64(len(ms)) > o.Limit {
+			ms = ms[:o.Limit:o.Limit]
 		}
 		out[i] = ms
 	}

@@ -87,6 +87,10 @@ func TestIterateStreaming(t *testing.T) {
 		}
 		n++
 	}
+	// spanlint/closecheck: a failure here must not read as exhaustion.
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
 	if n != 15 { // spans of a 4-char string: 5·6/2
 		t.Errorf("got %d matches, want 15", n)
 	}
