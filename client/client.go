@@ -162,6 +162,8 @@ func (e *RemoteError) Unwrap() error {
 		return spanjoin.ErrBudgetExceeded
 	case spanjoin.FailureCanceled:
 		return context.Canceled
+	case spanjoin.FailureCorrupt:
+		return spanjoin.ErrCorrupt
 	}
 	return nil
 }

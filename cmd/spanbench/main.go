@@ -48,7 +48,7 @@ func main() { os.Exit(run()) }
 // inside the loop would skip. The exit code is a named return so the
 // deferred heap-profile write can fail the run.
 func run() (code int) {
-	which := flag.String("experiment", "all", "experiment id (E1..E10, EB, EC, EN, EP, ER, F1, G1) or 'all'")
+	which := flag.String("experiment", "all", "experiment id (E1..E10, EB, EC, ED, EN, EP, ER, F1, G1) or 'all'")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	jsonOut := flag.String("json", "", "also record every table to this file as JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")

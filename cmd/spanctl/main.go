@@ -63,6 +63,7 @@ import (
 //	3  deadline exceeded (-timeout)
 //	4  overloaded (admission control shed the query)
 //	5  work budget exceeded (-budget)
+//	6  durable state corrupt (a spand server failed recovery)
 const (
 	exitOK       = 0
 	exitErr      = 1
@@ -70,6 +71,7 @@ const (
 	exitDeadline = 3
 	exitOverload = 4
 	exitBudget   = 5
+	exitCorrupt  = 6
 )
 
 // usageErr marks an error as a usage error (exit 2): the invocation is
@@ -110,6 +112,8 @@ func exitCode(err error) int {
 		return exitOverload
 	case spanjoin.FailureBudget:
 		return exitBudget
+	case spanjoin.FailureCorrupt:
+		return exitCorrupt
 	case spanjoin.FailurePanic, spanjoin.FailureCanceled:
 		return exitErr
 	}

@@ -1,0 +1,45 @@
+//go:build failpoints
+
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+
+	"spanjoin/internal/resilience"
+)
+
+// armCrashpoints reads SPAND_CRASHPOINT=<failpoint>:<nth> and arms the
+// named failpoint to SIGKILL this process the nth time it fires (1-based).
+// SIGKILL — not exit — is the point: the process gets no chance to flush,
+// close, or run deferred cleanup, which is exactly the crash the WAL's
+// recovery contract must absorb. The crash harness in crash_test.go sets
+// the variable, ingests documents until the process dies mid-write, then
+// restarts it and checks acked-implies-present / unacked-implies-absent.
+//
+// Example: SPAND_CRASHPOINT=wal/crash/before-ack:3 kills the server
+// during its third durable add, after the record is on disk but before
+// the client hears about it.
+func armCrashpoints() {
+	spec := os.Getenv("SPAND_CRASHPOINT")
+	if spec == "" {
+		return
+	}
+	name, nthS, ok := strings.Cut(spec, ":")
+	nth, err := strconv.ParseInt(nthS, 10, 64)
+	if !ok || err != nil || nth < 1 {
+		fmt.Fprintf(os.Stderr, "spand: bad SPAND_CRASHPOINT %q (want <failpoint>:<nth>)\n", spec)
+		os.Exit(2)
+	}
+	var fired atomic.Int64
+	resilience.Enable(name, func(any) {
+		if fired.Add(1) == nth {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // SIGKILL is not synchronous; never return to the write path
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build !failpoints
+
+package main
+
+// armCrashpoints is a no-op in ordinary builds; the failpoints-tagged
+// twin arms SIGKILL crash points from SPAND_CRASHPOINT for the
+// crash-injection harness.
+func armCrashpoints() {}

@@ -16,14 +16,34 @@
 //	-max-concurrent N  admission gate: evaluations running at once (0 = unbounded)
 //	-max-queue N       admission gate: queries waiting for a slot
 //
+// Durability flags make the corpus survive crashes (see the README's
+// "Durability and crash recovery"):
+//
+//	-data DIR          back the corpus with a write-ahead log + snapshots
+//	                   in DIR; POST /add acks are durable per -fsync, and
+//	                   a restart recovers every acknowledged write
+//	-fsync P           always | interval | never (default always)
+//	-fsync-interval D  fsync cadence under -fsync interval (default 100ms)
+//	-snapshot-bytes N  snapshot + prune when the log passes N bytes
+//	                   (default 64 MiB; 0 disables automatic snapshots)
+//
 // Server flags bound what one request can ask for:
 //
 //	-max-page N        page-size clamp for /eval limit and /sample n
 //	-default-timeout D per-request deadline when the request names none
 //	-max-timeout D     clamp for request-supplied timeouts
+//	-max-doc-bytes N   POST /add body clamp (default 16 MiB)
+//
+// The listener binds before the corpus is opened: during recovery and
+// ingest every request — /healthz included — answers 503 with the
+// reason, flipping to 200 when serving starts ("ready" on stdout). Load
+// balancers therefore keep a recovering instance out of rotation
+// without mistaking it for a dead one.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight
-// requests get -grace (default 5s) to finish.
+// requests get -grace (default 5s) to finish, then the corpus is
+// closed — syncing the log, so a graceful shutdown is fully durable
+// even under -fsync never.
 package main
 
 import (
@@ -62,6 +82,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxPage := fs.Int("max-page", 0, "page-size clamp for /eval limit and /sample n (0 = default)")
 	defaultTimeout := fs.Duration("default-timeout", 0, "per-request deadline when the request names none (0 = default)")
 	maxTimeout := fs.Duration("max-timeout", 0, "clamp for request-supplied timeouts (0 = default)")
+	maxDocBytes := fs.Int64("max-doc-bytes", 0, "POST /add body clamp in bytes (0 = default 16 MiB)")
+	data := fs.String("data", "", "data directory: WAL + snapshots, crash-recovered on start")
+	fsync := fs.String("fsync", "always", "durable ack policy: always | interval | never")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "fsync cadence under -fsync interval (0 = default 100ms)")
+	snapshotBytes := fs.Int64("snapshot-bytes", 64<<20, "snapshot + prune when the log passes N bytes (0 = never)")
 	lines := fs.String("lines", "", "load one document per line of FILE ('-' = stdin)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
 	if err := fs.Parse(args); err != nil {
@@ -84,19 +109,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *maxQueue > 0 {
 		copts = append(copts, spanjoin.WithMaxQueue(*maxQueue))
 	}
-	corpus := spanjoin.NewCorpus(copts...)
 
-	if err := load(corpus, *lines, fs.Args()); err != nil {
-		fmt.Fprintln(stderr, "spand:", err)
-		return 1
-	}
-
-	srv := server.New(corpus, server.Config{
-		MaxPageSize:    *maxPage,
-		DefaultTimeout: *defaultTimeout,
-		MaxTimeout:     *maxTimeout,
-	})
-
+	// Bind before recovery: the address is on stdout (and /healthz
+	// answers 503 + reason) while the corpus replays its durable state,
+	// so "up" and "ready" are observable as distinct conditions.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "spand:", err)
@@ -104,19 +120,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// The resolved address is the first line on stdout so scripts (and the
 	// CI integration test) can bind ":0" and read back the port.
-	fmt.Fprintf(stdout, "listening on %s (%d docs, %d shards)\n",
-		ln.Addr(), corpus.Len(), corpus.NumShards())
+	fmt.Fprintf(stdout, "listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler(), ErrorLog: log.New(stderr, "spand: ", 0)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	rd := server.NewReadiness("recovering corpus")
+	hs := &http.Server{Handler: rd, ErrorLog: log.New(stderr, "spand: ", 0)}
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()
+
+	// Crash points (failpoints builds only; no-op otherwise) arm before
+	// any durable write so the harness can kill the ingest path too.
+	armCrashpoints()
+
+	var corpus *spanjoin.Corpus
+	if *data != "" {
+		policy, err := spanjoin.ParseSyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(stderr, "spand:", err)
+			hs.Close()
+			return 2
+		}
+		copts = append(copts, spanjoin.WithSync(policy), spanjoin.WithSnapshotThreshold(*snapshotBytes))
+		if *fsyncInterval > 0 {
+			copts = append(copts, spanjoin.WithSyncInterval(*fsyncInterval))
+		}
+		corpus, err = spanjoin.Open(*data, copts...)
+		if err != nil {
+			// A corrupt directory is deliberately fatal and typed: refusing
+			// to serve beats silently serving a partial corpus.
+			fmt.Fprintln(stderr, "spand:", err)
+			hs.Close()
+			return 1
+		}
+	} else {
+		corpus = spanjoin.NewCorpus(copts...)
+	}
+
+	rd.SetReason("loading documents")
+	if err := load(corpus, *lines, fs.Args()); err != nil {
+		fmt.Fprintln(stderr, "spand:", err)
+		corpus.Close()
+		hs.Close()
+		return 1
+	}
+
+	srv := server.New(corpus, server.Config{
+		MaxPageSize:    *maxPage,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxDocBytes:    *maxDocBytes,
+	})
+	rd.Mount(srv.Handler())
+	fmt.Fprintf(stdout, "ready (%d docs, %d shards)\n", corpus.Len(), corpus.NumShards())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	select {
 	case err := <-done:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(stderr, "spand:", err)
+			corpus.Close()
 			return 1
 		}
 	case <-ctx.Done():
@@ -125,6 +188,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			hs.Close()
+		}
+		// Close after Shutdown: in-flight durable adds finish first, then
+		// the log is synced and closed — under every fsync policy a
+		// graceful shutdown loses nothing.
+		if err := corpus.Close(); err != nil {
+			fmt.Fprintln(stderr, "spand: closing corpus:", err)
+			return 1
 		}
 		fmt.Fprintln(stdout, "shut down")
 	}
@@ -139,7 +209,9 @@ func load(c *spanjoin.Corpus, lines string, files []string) error {
 		if err != nil {
 			return err
 		}
-		c.Add(string(b))
+		if _, err := c.AddErr(string(b)); err != nil {
+			return err
+		}
 	}
 	if lines == "" {
 		return nil
@@ -158,7 +230,9 @@ func load(c *spanjoin.Corpus, lines string, files []string) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	for sc.Scan() {
-		c.Add(sc.Text())
+		if _, err := c.AddErr(sc.Text()); err != nil {
+			return err
+		}
 	}
 	return sc.Err()
 }

@@ -34,7 +34,7 @@ type Corpus struct {
 	buffer  int
 }
 
-// corpusConfig collects the options of NewCorpus.
+// corpusConfig collects the options of NewCorpus and Open.
 type corpusConfig struct {
 	shards        int
 	cacheCap      int
@@ -43,6 +43,11 @@ type corpusConfig struct {
 	indexed       bool
 	maxConcurrent int
 	maxQueue      int
+
+	// Durable-corpus knobs (Open only; see durable.go).
+	syncPolicy        SyncPolicy
+	syncInterval      time.Duration
+	snapshotThreshold int64
 }
 
 // CorpusOption configures a Corpus at creation.
@@ -103,7 +108,10 @@ func NewCorpus(opts ...CorpusOption) *Corpus {
 	}
 }
 
-// Add appends a document and returns its stable ID.
+// Add appends a document and returns its stable ID. The empty string is
+// a valid document — counted by Len, durable on a durable corpus, and
+// evaluated like any other. On a durable corpus whose log has failed Add
+// panics with the log's error; use AddErr to handle it instead.
 func (c *Corpus) Add(doc string) DocID { return c.store.Add(doc) }
 
 // AddAll appends documents and returns their IDs, indexed like docs.

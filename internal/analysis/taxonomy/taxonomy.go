@@ -39,7 +39,7 @@ const Directive = "//spanjoin:taxonomy-map"
 // sentinelNames are the error variables that must be compared with
 // errors.Is. DeadlineExceeded and Canceled are matched in package
 // context; the others wherever a taxonomy package declares them.
-var sentinelNames = regexp.MustCompile(`^(ErrOverloaded|ErrBudgetExceeded)$`)
+var sentinelNames = regexp.MustCompile(`^(ErrOverloaded|ErrBudgetExceeded|ErrCorrupt)$`)
 
 // panicTypeNames are the error types that must be matched with
 // errors.As rather than asserted.
@@ -55,7 +55,7 @@ var classConst = regexp.MustCompile(`^Failure[A-Z]\w*$`)
 var Analyzer = &analysis.Analyzer{
 	Name: "taxonomy",
 	Doc: "sentinel errors via errors.Is/As; taxonomy maps stay exhaustive\n\n" +
-		"Sentinels (ErrOverloaded, ErrBudgetExceeded, context.DeadlineExceeded, " +
+		"Sentinels (ErrOverloaded, ErrBudgetExceeded, ErrCorrupt, context.DeadlineExceeded, " +
 		"context.Canceled) must be tested with errors.Is and *PanicError with " +
 		"errors.As; every //spanjoin:taxonomy-map function must handle every " +
 		"declared Failure* class.",

@@ -10,11 +10,11 @@ import (
 )
 
 // statusOf is the annotated taxonomy map. It handles Overloaded and
-// Deadline but not Budget, so the cross-file exhaustiveness check must
-// flag it.
+// Deadline but neither Budget nor Corrupt, so the cross-file
+// exhaustiveness check must flag it with the sorted missing list.
 //
 //spanjoin:taxonomy-map
-func statusOf(err error) int { // want "taxonomy map statusOf does not handle FailureBudget"
+func statusOf(err error) int { // want "taxonomy map statusOf does not handle FailureBudget, FailureCorrupt"
 	switch errs.FailureClass(err) {
 	case errs.FailureOverloaded:
 		return 503
@@ -31,6 +31,9 @@ func compare(err error) bool {
 	}
 	if err != errs.ErrBudgetExceeded { // want "ErrBudgetExceeded compared with !="
 		return false
+	}
+	if err == errs.ErrCorrupt { // want "ErrCorrupt compared with =="
+		return true
 	}
 	if err == context.DeadlineExceeded { // want "context.DeadlineExceeded compared with =="
 		return true

@@ -13,6 +13,7 @@ import (
 var (
 	ErrOverloaded     = errors.New("overloaded")
 	ErrBudgetExceeded = errors.New("budget exceeded")
+	ErrCorrupt        = errors.New("corrupt")
 )
 
 // PanicError carries a recovered panic.
@@ -26,6 +27,7 @@ const (
 	FailureOverloaded = "overloaded"
 	FailureDeadline   = "deadline"
 	FailureBudget     = "budget"
+	FailureCorrupt    = "corrupt"
 )
 
 // FailureClass classifies err into one of the constants above.
@@ -37,6 +39,8 @@ func FailureClass(err error) string {
 		return FailureDeadline
 	case errors.Is(err, ErrBudgetExceeded):
 		return FailureBudget
+	case errors.Is(err, ErrCorrupt):
+		return FailureCorrupt
 	}
 	return ""
 }

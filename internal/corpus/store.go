@@ -45,6 +45,10 @@ type Store struct {
 	// memory), not merely query starts. Set once before the store serves
 	// queries; nil means unbounded admission.
 	gate *resilience.Gate
+
+	// dur, when set, is the store's durable half (see durable.go): every
+	// Add goes through the write-ahead log first. nil for a RAM store.
+	dur *durability
 }
 
 // SetGate installs the store's admission gate. Call before the store
@@ -118,8 +122,17 @@ func (s *Store) locate(id DocID) (si, pos uint64) {
 }
 
 // Add appends a document and returns its stable ID. Safe for concurrent
-// use with Add, Get, Len and Eval.
+// use with Add, Get, Len and Eval. On a durable store Add goes through
+// the write-ahead log and panics if the log has failed — callers that
+// want the error (services) use AddErr.
 func (s *Store) Add(doc string) DocID {
+	if s.dur != nil {
+		id, err := s.AddErr(doc)
+		if err != nil {
+			panic(err)
+		}
+		return id
+	}
 	si := s.rr.Add(1) % uint64(len(s.shards))
 	sh := &s.shards[si]
 	sh.mu.Lock()

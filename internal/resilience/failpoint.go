@@ -29,7 +29,49 @@ const (
 	// FailCountDoc fires in a count worker immediately before a document
 	// is counted; arg is the document text.
 	FailCountDoc = "corpus/count/doc"
+
+	// FailWALWrite fires inside every write-ahead-log file write with an
+	// *IOFault the action may mutate: setting ShortenTo simulates a torn
+	// write (only a prefix reaches the file), setting Err fails the write
+	// without touching the file.
+	FailWALWrite = "wal/io/write"
+	// FailWALSync fires inside every log fsync with an *IOFault; setting
+	// Err simulates a failed fsync (the dirty data's durability is
+	// unknown, so the log wedges).
+	FailWALSync = "wal/io/sync"
+	// FailSnapWrite fires inside every snapshot file write with an
+	// *IOFault, like FailWALWrite.
+	FailSnapWrite = "wal/io/snap-write"
+
+	// Crash points: hooks placed at the ordering-sensitive instants of
+	// the durable write path. The crash harness arms them with an action
+	// that SIGKILLs the process, so recovery is exercised against a real
+	// unclean death at exactly that instant; arg is the record's sequence
+	// number (snapshot points: the snapshot generation).
+	CrashBeforeAppend  = "wal/crash/before-append"      // before the record reaches the file
+	CrashAfterAppend   = "wal/crash/after-append"       // record written, not yet synced
+	CrashBeforeAck     = "wal/crash/before-ack"         // record durable per policy, caller not yet answered
+	CrashSnapBeforeRen = "wal/crash/snap-before-rename" // snapshot temp written, not yet visible
+	CrashSnapAfterRen  = "wal/crash/snap-after-rename"  // snapshot visible, old files not yet pruned
 )
+
+// IOFault is the mutable argument of the wal I/O failpoints: the armed
+// action sets fields to steer the hooked operation. The zero value lets
+// the operation proceed untouched.
+type IOFault struct {
+	// Op names the operation ("append", "sync", "snapshot") and N is how
+	// many bytes it was about to write (0 for sync) — context for actions
+	// that target a specific call.
+	Op string
+	N  int
+	// ShortenTo, when ≥ 0, truncates the write to that many bytes — the
+	// torn-write simulator. Hook sites pass it as -1 (untouched). Ignored
+	// by sync.
+	ShortenTo int
+	// Err, when set, is returned by the operation after any shortened
+	// write.
+	Err error
+}
 
 // Action is the behavior of an armed failpoint; it receives the hook
 // call's argument. Returning normally resumes the hooked code path.

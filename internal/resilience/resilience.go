@@ -30,6 +30,18 @@ var ErrOverloaded = errors.New("resilience: overloaded, query rejected by admiss
 // that point; the budget error marks them as partial.
 var ErrBudgetExceeded = errors.New("resilience: work budget exceeded, results are partial")
 
+// ErrCorrupt is the durability failure class: on-disk state (a write-ahead
+// log record that is not a torn tail, or a snapshot file) failed its
+// checksum or structural validation during recovery or a durable write.
+// It is deliberately distinct from a torn tail — a torn tail is the
+// expected residue of a crash and is repaired silently by truncation,
+// while ErrCorrupt means bytes the log previously made durable changed
+// underneath it, which no replay can repair. Recovery surfaces it instead
+// of panicking or silently dropping acknowledged writes; wrap it with %w
+// (or return it through a *wal* error chain) so errors.Is detects it
+// through any layer.
+var ErrCorrupt = errors.New("resilience: durable state corrupt, recovery cannot proceed")
+
 // NoDoc marks a PanicError that is not attributable to a single document
 // (a panic in the dealer or closer rather than in a shard worker).
 const NoDoc = ^uint64(0)

@@ -25,6 +25,15 @@ var ErrOverloaded = resilience.ErrOverloaded
 // errors.Is.
 var ErrBudgetExceeded = resilience.ErrBudgetExceeded
 
+// ErrCorrupt is returned by Open when the data directory's durable state
+// cannot be recovered: a log checksum failure with intact records after
+// it, a sequence gap, or a corrupt snapshot. It is deliberately distinct
+// from a torn log tail — ordinary crash residue, which recovery repairs
+// silently — and means the bytes on disk were damaged after they were
+// written (bit rot, truncation by another program, a lying device).
+// Detect with errors.Is; the wrapped message names the file and offset.
+var ErrCorrupt = resilience.ErrCorrupt
+
 // PanicError is a panic recovered inside the engine — in a corpus worker,
 // the shard dealer, a cache fill, or an evaluator constructor — converted
 // into an error on the failing query's stream. One poisoned document
@@ -99,6 +108,7 @@ const (
 	FailureBudget     = "budget"     // ErrBudgetExceeded: work budget spent
 	FailurePanic      = "panic"      // *PanicError: recovered engine panic
 	FailureCanceled   = "canceled"   // context.Canceled: caller went away
+	FailureCorrupt    = "corrupt"    // ErrCorrupt: durable state unrecoverable
 )
 
 // FailureClass names an error's place in the engine's failure taxonomy,
@@ -120,6 +130,8 @@ func FailureClass(err error) string {
 		return FailurePanic
 	case errors.Is(err, context.Canceled):
 		return FailureCanceled
+	case errors.Is(err, ErrCorrupt):
+		return FailureCorrupt
 	}
 	return ""
 }

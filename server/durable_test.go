@@ -1,0 +1,216 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spanjoin"
+	"spanjoin/server"
+)
+
+// newDurableServer serves a durable corpus from a temp data directory.
+func newDurableServer(t *testing.T, cfg server.Config) (*spanjoin.Corpus, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	c, err := spanjoin.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ts := httptest.NewServer(server.New(c, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return c, ts.URL, dir
+}
+
+// postAdd POSTs one document and decodes the ack.
+func postAdd(t *testing.T, url, doc string) server.AddBody {
+	t.Helper()
+	resp, err := http.Post(url+"/add", "text/plain", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /add: status %d: %s", resp.StatusCode, b)
+	}
+	var ab server.AddBody
+	if err := json.NewDecoder(resp.Body).Decode(&ab); err != nil {
+		t.Fatal(err)
+	}
+	return ab
+}
+
+func TestAddDocRoundTrip(t *testing.T) {
+	_, url, _ := newDurableServer(t, server.Config{})
+	docs := []string{"first document", "", "third with mail inside"}
+	ids := make([]uint64, len(docs))
+	for i, d := range docs {
+		ids[i] = postAdd(t, url, d).ID
+	}
+	for i, d := range docs {
+		resp, err := http.Get(fmt.Sprintf("%s/doc?id=%d", url, ids[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var db server.DocBody
+		if err := json.NewDecoder(resp.Body).Decode(&db); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if db.Text != d {
+			t.Fatalf("GET /doc?id=%d = %q, want %q", ids[i], db.Text, d)
+		}
+	}
+	// Unknown ID is 404.
+	resp, err := http.Get(url + "/doc?id=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /doc unknown id: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAddAckIsDurable is the in-process half of the crash contract: a
+// document acked over HTTP is present after the corpus is reopened.
+func TestAddAckIsDurable(t *testing.T) {
+	c, url, dir := newDurableServer(t, server.Config{})
+	id := postAdd(t, url, "acked and therefore kept").ID
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := spanjoin.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, ok := c2.Doc(spanjoin.DocID(id))
+	if !ok || got != "acked and therefore kept" {
+		t.Fatalf("acked doc after reopen = %q,%v", got, ok)
+	}
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	_, url, _ := newDurableServer(t, server.Config{})
+	for i := 0; i < 5; i++ {
+		postAdd(t, url, fmt.Sprintf("doc %d", i))
+	}
+	resp, err := http.Post(url+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /snapshot: status %d", resp.StatusCode)
+	}
+	var sb server.SnapshotBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Snapshots != 1 {
+		t.Fatalf("snapshots = %d, want 1", sb.Snapshots)
+	}
+}
+
+func TestStatsDurabilitySection(t *testing.T) {
+	_, url, dir := newDurableServer(t, server.Config{})
+	postAdd(t, url, "one document")
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb server.StatsBody
+	if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Durability == nil {
+		t.Fatal("/stats has no durability section for a durable corpus")
+	}
+	if sb.Durability.Dir != dir || sb.Durability.Appends != 1 {
+		t.Fatalf("durability section = %+v", sb.Durability)
+	}
+
+	// A RAM corpus omits the section.
+	ramTS := httptest.NewServer(server.New(spanjoin.NewCorpus(), server.Config{}).Handler())
+	defer ramTS.Close()
+	resp2, err := http.Get(ramTS.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var sb2 server.StatsBody
+	if err := json.NewDecoder(resp2.Body).Decode(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.Durability != nil {
+		t.Fatalf("RAM corpus /stats has a durability section: %+v", sb2.Durability)
+	}
+}
+
+func TestAddBodyCap(t *testing.T) {
+	_, url, _ := newDurableServer(t, server.Config{MaxDocBytes: 64})
+	resp, err := http.Post(url+"/add", "text/plain", strings.NewReader(strings.Repeat("x", 1000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize POST /add: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestReadiness pins the up-vs-ready distinction: the listener answers
+// immediately, but everything — including /healthz — is 503 with the
+// recovery reason until the real handler is mounted, then 200.
+func TestReadiness(t *testing.T) {
+	rd := server.NewReadiness("recovering corpus: replaying log")
+	ts := httptest.NewServer(rd)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unready /healthz: status %d, want 503", resp.StatusCode)
+	}
+	var eb server.ErrorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("unready body not JSON: %q", body)
+	}
+	if !strings.Contains(eb.Error, "replaying log") {
+		t.Fatalf("unready reason = %q, want the recovery reason", eb.Error)
+	}
+	// Queries are equally unavailable while unready.
+	resp2, err := http.Get(ts.URL + "/eval?q=x%7Ba%7D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unready /eval: status %d, want 503", resp2.StatusCode)
+	}
+
+	c := spanjoin.NewCorpus()
+	c.Add("a")
+	rd.Mount(server.New(c, server.Config{}).Handler())
+
+	resp3, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("ready /healthz: status %d, want 200", resp3.StatusCode)
+	}
+}

@@ -6,7 +6,12 @@
 //	            deep pages cost O(1) via the ranked Page machinery
 //	GET /count  exact corpus-wide result count, no enumeration
 //	GET /sample i.i.d. uniform matches from the corpus-wide result set
-//	GET /stats  document, cache, admission-gate and server counters
+//	GET /stats  document, cache, admission-gate, server and (for a
+//	            durable corpus) durability counters
+//
+// — plus the write/durability surface (POST /add, GET /doc, POST
+// /snapshot) and the Readiness wrapper separating "process up" from
+// "corpus recovered", both documented in durable.go.
 //
 // Every request threads a deadline into the engine (WithTimeout, clamped
 // by the server's config), and the engine's typed failure taxonomy maps
@@ -43,6 +48,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps request-supplied timeouts (default 2m).
 	MaxTimeout time.Duration
+	// MaxDocBytes clamps POST /add's request body (default 16 MiB);
+	// larger documents answer 413 without being read fully.
+	MaxDocBytes int64
+}
+
+func (c Config) maxDocBytes() int64 {
+	if c.MaxDocBytes <= 0 {
+		return 16 << 20
+	}
+	return c.MaxDocBytes
 }
 
 func (c Config) maxPageSize() int {
@@ -96,6 +111,9 @@ func New(c *spanjoin.Corpus, cfg Config) *Server {
 	s.mux.HandleFunc("GET /count", s.handleCount)
 	s.mux.HandleFunc("GET /sample", s.handleSample)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /add", s.handleAdd)
+	s.mux.HandleFunc("GET /doc", s.handleDoc)
+	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -181,6 +199,8 @@ func StatusOf(err error) int {
 		return http.StatusInternalServerError
 	case spanjoin.FailureCanceled:
 		return 499 // client closed request (nginx convention)
+	case spanjoin.FailureCorrupt:
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }
@@ -518,6 +538,9 @@ type StatsBody struct {
 		Served uint64 `json:"served"`
 		Failed uint64 `json:"failed"`
 	} `json:"server"`
+	// Durability is present only for a corpus opened from a data
+	// directory (spand -data); RAM corpora omit the section.
+	Durability *spanjoin.DurabilityStats `json:"durability,omitempty"`
 }
 
 // handleStats serves the operational counters.
@@ -531,6 +554,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	gs := s.corpus.GateStats()
 	b.Gate.Active, b.Gate.Queued, b.Gate.Rejected = gs.Active, gs.Queued, gs.Rejected
 	b.Server.Served, b.Server.Failed = s.served.Load(), s.failed.Load()
+	if s.corpus.Durable() {
+		ds := s.corpus.DurabilityStats()
+		b.Durability = &ds
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(b)
 }
