@@ -112,6 +112,13 @@ type Page struct {
 	Total   *big.Int
 	Next    string
 	Stats   Stats
+	// Trace is the server's per-stage timing breakdown, present only when
+	// the request set EvalRequest.Trace.
+	Trace []spanjoin.StageSpan
+	// RequestID is the server's ID for this request (the X-Request-Id
+	// response header), correlating the page with server logs and the
+	// slow-query log.
+	RequestID string
 }
 
 // EvalRequest parameterizes /eval. Zero values mean "server default".
@@ -133,6 +140,9 @@ type EvalRequest struct {
 	// budget returns the partial page alongside an error matching
 	// spanjoin.ErrBudgetExceeded.
 	Budget int
+	// Trace asks the server for the per-stage timing breakdown, returned
+	// on Page.Trace.
+	Trace bool
 }
 
 // RemoteError is a failure reported by the server, carrying the HTTP
@@ -143,9 +153,17 @@ type RemoteError struct {
 	Class   string
 	Message string
 	Doc     *uint64
+	// RequestID is the server's ID for the failed request (the
+	// X-Request-Id response header) — quote it when reporting the failure
+	// and the operator can find the exact request in the server's logs and
+	// slow-query ring. Empty when the failure never reached the server.
+	RequestID string
 }
 
 func (e *RemoteError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("spand: %s (status %d, class %q, request %s)", e.Message, e.Status, e.Class, e.RequestID)
+	}
 	return fmt.Sprintf("spand: %s (status %d, class %q)", e.Message, e.Status, e.Class)
 }
 
@@ -205,7 +223,7 @@ func (c *Client) do(ctx context.Context, path string, q url.Values) (*http.Respo
 			// connection is reused for the retry.
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
-			lastErr = &RemoteError{Status: status, Message: http.StatusText(status)}
+			lastErr = &RemoteError{Status: status, Message: http.StatusText(status), RequestID: resp.Header.Get(requestIDHeader)}
 		} else {
 			if !retryable(0, err) || attempt >= c.retries {
 				return nil, err
@@ -222,6 +240,10 @@ func (c *Client) do(ctx context.Context, path string, q url.Values) (*http.Respo
 	}
 }
 
+// requestIDHeader is the server's per-request ID header, echoed on every
+// response.
+const requestIDHeader = "X-Request-Id"
+
 // decodeError turns an error-status response into a *RemoteError.
 func decodeError(resp *http.Response) error {
 	defer resp.Body.Close()
@@ -230,23 +252,25 @@ func decodeError(resp *http.Response) error {
 		Class string  `json:"class"`
 		Doc   *uint64 `json:"doc"`
 	}
+	id := resp.Header.Get(requestIDHeader)
 	msg := http.StatusText(resp.StatusCode)
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&b); err == nil && b.Error != "" {
-		return &RemoteError{Status: resp.StatusCode, Class: b.Class, Message: b.Error, Doc: b.Doc}
+		return &RemoteError{Status: resp.StatusCode, Class: b.Class, Message: b.Error, Doc: b.Doc, RequestID: id}
 	}
-	return &RemoteError{Status: resp.StatusCode, Message: msg}
+	return &RemoteError{Status: resp.StatusCode, Message: msg, RequestID: id}
 }
 
 // trailerLine mirrors the server's NDJSON trailer.
 type trailerLine struct {
-	Done      bool    `json:"done"`
-	Delivered int     `json:"delivered"`
-	Total     string  `json:"total"`
-	Next      string  `json:"next"`
-	Stats     *Stats  `json:"stats"`
-	Error     string  `json:"error"`
-	Class     string  `json:"class"`
-	Doc       *uint64 `json:"doc"`
+	Done      bool                 `json:"done"`
+	Delivered int                  `json:"delivered"`
+	Total     string               `json:"total"`
+	Next      string               `json:"next"`
+	Stats     *Stats               `json:"stats"`
+	Trace     []spanjoin.StageSpan `json:"trace"`
+	Error     string               `json:"error"`
+	Class     string               `json:"class"`
+	Doc       *uint64              `json:"doc"`
 }
 
 // decodePage parses an NDJSON row stream plus trailer. A trailer carrying
@@ -254,7 +278,7 @@ type trailerLine struct {
 // reconstructed typed error.
 func decodePage(resp *http.Response) (*Page, error) {
 	defer resp.Body.Close()
-	page := &Page{}
+	page := &Page{RequestID: resp.Header.Get(requestIDHeader)}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var tr *trailerLine
@@ -293,8 +317,9 @@ func decodePage(resp *http.Response) (*Page, error) {
 	if tr.Stats != nil {
 		page.Stats = *tr.Stats
 	}
+	page.Trace = tr.Trace
 	if tr.Error != "" {
-		return page, &RemoteError{Status: resp.StatusCode, Class: tr.Class, Message: tr.Error, Doc: tr.Doc}
+		return page, &RemoteError{Status: resp.StatusCode, Class: tr.Class, Message: tr.Error, Doc: tr.Doc, RequestID: page.RequestID}
 	}
 	return page, nil
 }
@@ -327,6 +352,9 @@ func evalQuery(req EvalRequest) (url.Values, error) {
 	}
 	if req.Budget > 0 {
 		q.Set("budget", strconv.Itoa(req.Budget))
+	}
+	if req.Trace {
+		q.Set("trace", "1")
 	}
 	return q, nil
 }
@@ -364,7 +392,7 @@ func (c *Client) EvalAll(ctx context.Context, req EvalRequest) ([]Match, error) 
 		if page.Next == "" {
 			return out, nil
 		}
-		req = EvalRequest{Cursor: page.Next, Limit: req.Limit, Timeout: req.Timeout}
+		req = EvalRequest{Cursor: page.Next, Limit: req.Limit, Timeout: req.Timeout, Trace: req.Trace}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -134,6 +135,54 @@ func TestRetryOnConnectionError(t *testing.T) {
 	}
 	if time.Since(start) > 5*time.Second {
 		t.Fatal("connection-error retries took implausibly long")
+	}
+}
+
+func TestRemoteErrorCarriesRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-Id", "req-42")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad pattern"}`))
+	}))
+	defer ts.Close()
+	cl := newFast(t, ts.URL)
+	_, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a"})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.RequestID != "req-42" {
+		t.Fatalf("RequestID = %q, want the server's X-Request-Id", re.RequestID)
+	}
+	if !strings.Contains(re.Error(), "req-42") {
+		t.Fatalf("Error() omits the request ID: %q", re.Error())
+	}
+}
+
+func TestPageCarriesTraceAndRequestID(t *testing.T) {
+	var sawTrace atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sawTrace.Store(r.URL.Query().Get("trace") == "1")
+		w.Header().Set("X-Request-Id", "req-7")
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"doc":0,"spans":{"x":{"start":0,"end":1,"text":"a"}}}` + "\n"))
+		w.Write([]byte(`{"done":true,"delivered":1,"total":"1","trace":[{"stage":"enumerate","start_ns":10,"dur_ns":12345,"items":1,"calls":1}]}` + "\n"))
+	}))
+	defer ts.Close()
+	cl := newFast(t, ts.URL)
+	page, err := cl.Eval(context.Background(), EvalRequest{Pattern: "x{a}", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrace.Load() {
+		t.Fatal("EvalRequest.Trace did not send trace=1")
+	}
+	if page.RequestID != "req-7" {
+		t.Fatalf("Page.RequestID = %q", page.RequestID)
+	}
+	if len(page.Trace) != 1 || page.Trace[0].Stage != spanjoin.StageEnumerate || page.Trace[0].Dur != 12345 {
+		t.Fatalf("Page.Trace = %+v", page.Trace)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -18,7 +19,7 @@ func init() {
 func edIngest(c *spanjoin.Corpus, docs []string) (time.Duration, error) {
 	start := time.Now()
 	for _, d := range docs {
-		if _, err := c.AddErr(d); err != nil {
+		if _, err := c.AddErrCtx(context.Background(), d); err != nil {
 			return 0, err
 		}
 	}
@@ -34,7 +35,7 @@ func edBuild(dir string, docs []string, snapshot bool) error {
 		return err
 	}
 	for _, d := range docs {
-		if _, err := c.AddErr(d); err != nil {
+		if _, err := c.AddErrCtx(context.Background(), d); err != nil {
 			c.Close()
 			return err
 		}

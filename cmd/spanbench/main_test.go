@@ -50,7 +50,7 @@ func TestFmtDuration(t *testing.T) {
 }
 
 func TestAllExperimentsRegistered(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "EB", "EC", "ED", "EN", "EP", "ER", "ES", "F1", "G1"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "EB", "EC", "ED", "EN", "EO", "EP", "ER", "ES", "F1", "G1"}
 	have := map[string]bool{}
 	for _, e := range experiments {
 		have[e.id] = true

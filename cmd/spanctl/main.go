@@ -4,12 +4,14 @@
 // Usage:
 //
 //	spanctl eval  -p PATTERN [-d DOC | -f FILE | -addr URL] [-offset N]
-//	              [-max N] [-json] [-timeout D] [-limit N] [-budget N]
+//	              [-max N] [-json] [-timeout D] [-limit N] [-budget N] [-trace]
 //	    evaluate a regex formula and print every match; -offset/-limit
 //	    select the window [offset, offset+limit); -timeout, -limit and
 //	    -budget bound the evaluation, failing with distinct exit codes
 //	    (3: deadline, 5: budget; a met -limit exits 0); -addr evaluates
-//	    against a spand server instead of a local document
+//	    against a spand server instead of a local document; -trace prints
+//	    the per-stage timing breakdown (cache, plan build, prefilter,
+//	    enumerate, ...) on stderr — local or remote
 //	spanctl count -p PATTERN [-d DOC | -f FILE | -addr URL] [-json]
 //	    print the exact number of matches without enumerating them
 //	    (ranked DP; counts beyond uint64 stay exact)
@@ -167,9 +169,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: spanctl <eval|count|sample|check|dot|key|query|stats> [flags]
   eval   -p PATTERN [-d DOC | -f FILE | -addr URL] [-offset N] [-max N] [-json]
-         [-timeout D] [-limit N] [-budget N]
+         [-timeout D] [-limit N] [-budget N] [-trace]
          evaluate on a document or a spand server; -offset/-limit is the
-         window [offset, offset+limit), entered ranked, not by stepping
+         window [offset, offset+limit), entered ranked, not by stepping;
+         -trace prints the per-stage timing breakdown on stderr
   count  -p PATTERN [-d DOC | -f FILE | -addr URL] [-json]  exact match count, no enumeration
   sample -p PATTERN -n K [-seed S] [-d DOC|-f FILE|-addr URL] [-json]
          K i.i.d. uniform matches (-n >= 1, -seed >= 0)
@@ -216,6 +219,7 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	limit := fs.Int("limit", 0, "deliver at most N matches; with -offset, the window is [offset, offset+limit)")
 	timeout := fs.Duration("timeout", 0, "abort after this long, exit "+fmt.Sprint(exitDeadline)+" (0 = none)")
 	budget := fs.Int("budget", 0, "work budget in engine units (doc bytes + results), exit "+fmt.Sprint(exitBudget)+" when exceeded (0 = none)")
+	trace := fs.Bool("trace", false, "print the per-stage timing breakdown on stderr after the run")
 	asJSON := fs.Bool("json", false, "emit JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -227,7 +231,7 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 		if *doc != "" || *file != "" {
 			return usagef("-addr does not combine with -d/-f (the corpus lives on the server)")
 		}
-		return evalRemote(*addr, *pattern, *offset, *limit, *maxN, *timeout, *budget, *asJSON, stdout, stderr)
+		return evalRemote(*addr, *pattern, *offset, *limit, *maxN, *timeout, *budget, *trace, *asJSON, stdout, stderr)
 	}
 	text, err := readDoc(*doc, *file)
 	if err != nil {
@@ -237,24 +241,25 @@ func cmdEval(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *timeout > 0 || *budget > 0 {
-		// The resilience knobs run through the corpus engine (a
+	if *timeout > 0 || *budget > 0 || *trace {
+		// The resilience knobs — and -trace, whose stages are recorded by
+		// the corpus pipeline — run through the corpus engine (a
 		// single-document corpus), which is where deadlines, limits and
 		// budgets are enforced with typed errors. Offsets stay with the
 		// ranked iterator path, which these knobs do not reach.
 		if *offset > 0 {
-			return usagef("-offset does not combine with -timeout/-budget")
+			return usagef("-offset does not combine with -timeout/-budget/-trace")
 		}
 		eff := *limit
 		if eff == 0 || (*maxN > 0 && *maxN < eff) {
 			eff = *maxN
 		}
-		return evalResilient(sp, text, *timeout, eff, *budget, *asJSON, stdout, stderr)
+		return evalResilient(sp, text, *timeout, eff, *budget, *trace, *asJSON, stdout, stderr)
 	}
 	if *limit > 0 && *offset == 0 {
 		// A plain -limit still stops the engine early rather than merely
 		// truncating output.
-		return evalResilient(sp, text, 0, effLimit(*limit, *maxN), *budget, *asJSON, stdout, stderr)
+		return evalResilient(sp, text, 0, effLimit(*limit, *maxN), *budget, false, *asJSON, stdout, stderr)
 	}
 	// spanlint/ctxthread: IterateCtx, not Iterate — the non-ctx variant
 	// would discard any deadline this path later grows.
@@ -307,18 +312,19 @@ func effLimit(limit, maxN int) int {
 // sentinels as local ones, so the exit codes match; budget-mode partial
 // rows are printed before the error surfaces, like a local partial
 // stream.
-func evalRemote(addr, pattern string, offset uint64, limit, maxN int, timeout time.Duration, budget int, asJSON bool, stdout, stderr io.Writer) error {
+func evalRemote(addr, pattern string, offset uint64, limit, maxN int, timeout time.Duration, budget int, trace, asJSON bool, stdout, stderr io.Writer) error {
 	cl, err := client.New(addr)
 	if err != nil {
 		return err
 	}
 	want := effLimit(limit, maxN)
-	req := client.EvalRequest{Pattern: pattern, Offset: offset, Timeout: timeout, Budget: budget}
+	req := client.EvalRequest{Pattern: pattern, Offset: offset, Timeout: timeout, Budget: budget, Trace: trace}
 	if want > 0 {
 		req.Limit = want
 	}
 	enc := json.NewEncoder(stdout)
 	count := 0
+	var stages []spanjoin.StageSpan
 	for {
 		page, err := cl.Eval(context.Background(), req)
 		if page != nil {
@@ -331,20 +337,69 @@ func evalRemote(addr, pattern string, offset uint64, limit, maxN int, timeout ti
 					return perr
 				}
 			}
+			stages = mergeStages(stages, page.Trace)
 		}
 		if err != nil {
+			if trace {
+				printStages(stderr, stages)
+			}
 			return err
 		}
 		if page.Next == "" || (want > 0 && count >= want) {
 			break
 		}
-		req = client.EvalRequest{Cursor: page.Next, Timeout: timeout}
+		req = client.EvalRequest{Cursor: page.Next, Timeout: timeout, Trace: trace}
 		if want > 0 {
 			req.Limit = want - count
 		}
 	}
+	if trace {
+		printStages(stderr, stages)
+	}
 	fmt.Fprintf(stderr, "%d match(es)\n", count)
 	return nil
+}
+
+// mergeStages folds one page's stage spans into the accumulated
+// breakdown — a paginated eval is several server requests, and the
+// printed trace is their sum per stage.
+func mergeStages(into, more []spanjoin.StageSpan) []spanjoin.StageSpan {
+	for _, s := range more {
+		merged := false
+		for i := range into {
+			if into[i].Stage == s.Stage {
+				into[i].Dur += s.Dur
+				into[i].Items += s.Items
+				into[i].Calls += s.Calls
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			into = append(into, s)
+		}
+	}
+	return into
+}
+
+// printStages writes a traced evaluation's per-stage breakdown, one line
+// per stage in first-occurrence order.
+func printStages(w io.Writer, stages []spanjoin.StageSpan) {
+	if len(stages) == 0 {
+		fmt.Fprintln(w, "trace: no stages recorded")
+		return
+	}
+	fmt.Fprintln(w, "trace:")
+	for _, s := range stages {
+		fmt.Fprintf(w, "  %-14s %12v", string(s.Stage), s.Dur)
+		if s.Items > 0 {
+			fmt.Fprintf(w, "  items=%d", s.Items)
+		}
+		if s.Calls > 1 {
+			fmt.Fprintf(w, "  calls=%d", s.Calls)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // printRemoteMatch writes one wire row as text or as a JSON line.
@@ -371,14 +426,25 @@ func printRemoteMatch(enc *json.Encoder, stdout io.Writer, m client.Match, asJSO
 // deadlines, limits and budgets are enforced with typed errors — which is
 // what gives the distinct exit codes. Semantics are unchanged: the same
 // precompiled spanner runs over the same document.
-func evalResilient(sp *spanjoin.Spanner, text string, timeout time.Duration, limit, budget int, asJSON bool, stdout, stderr io.Writer) error {
+func evalResilient(sp *spanjoin.Spanner, text string, timeout time.Duration, limit, budget int, trace, asJSON bool, stdout, stderr io.Writer) error {
 	c := spanjoin.NewCorpus(spanjoin.WithShards(1), spanjoin.WithWorkers(1))
 	c.Add(text)
-	ms, err := c.EvalSpanner(context.Background(), sp, resilientOpts(timeout, limit, budget)...)
+	ctx := context.Background()
+	var tr *spanjoin.QueryTrace
+	if trace {
+		ctx, tr = spanjoin.WithTrace(ctx)
+	}
+	ms, err := c.EvalSpanner(ctx, sp, resilientOpts(timeout, limit, budget)...)
 	if err != nil {
 		return err
 	}
-	return drainCorpus(ms, asJSON, stdout, stderr)
+	err = drainCorpus(ms, asJSON, stdout, stderr)
+	if trace {
+		// Printed even on a typed failure: the partial breakdown shows
+		// where a timed-out or over-budget query spent its allowance.
+		printStages(stderr, tr.Spans())
+	}
+	return err
 }
 
 // resilientOpts translates the CLI's resource flags into engine options.

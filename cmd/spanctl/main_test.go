@@ -332,12 +332,53 @@ func TestEvalOffsetLimitWindow(t *testing.T) {
 func TestEvalOffsetRejectsResilienceFlags(t *testing.T) {
 	// -offset runs on the ranked iterator path, which -timeout/-budget do
 	// not reach; combining them is a usage error, not a silent drop.
-	for _, extra := range [][]string{{"-timeout", "1s"}, {"-budget", "10"}} {
+	for _, extra := range [][]string{{"-timeout", "1s"}, {"-budget", "10"}, {"-trace"}} {
 		args := append([]string{"eval", "-p", "x{a}", "-d", "a", "-offset", "1"}, extra...)
 		_, _, code := runCtl(t, args...)
 		if code != exitUsage {
 			t.Errorf("%v: exit %d, want %d", extra, code, exitUsage)
 		}
+	}
+}
+
+func TestEvalTraceLocal(t *testing.T) {
+	out, errw, code := runCtl(t, "eval", "-p", ".*x{ab}.*", "-d", "zabzab", "-trace")
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	// The matches still print, and stderr carries the stage breakdown —
+	// the precompiled-spanner corpus path records plan build, prefilter
+	// and the enumeration itself (no cache stage: -p compiled locally).
+	if n := strings.Count(out, "x="); n != 2 {
+		t.Errorf("got %d matches, want 2 (out %q)", n, out)
+	}
+	if !strings.Contains(errw, "trace:") {
+		t.Fatalf("stderr has no trace block: %q", errw)
+	}
+	for _, stage := range []string{"plan_build", "prefilter", "enumerate"} {
+		if !strings.Contains(errw, stage) {
+			t.Errorf("trace missing stage %q: %q", stage, errw)
+		}
+	}
+}
+
+func TestEvalTraceRemote(t *testing.T) {
+	c := spanjoin.NewCorpus()
+	c.AddAll("mail", "no matches here")
+	ts := httptest.NewServer(server.New(c, server.Config{}).Handler())
+	defer ts.Close()
+
+	out, errw, code := runCtl(t, "eval", "-p", "x{mail}", "-addr", ts.URL, "-trace")
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr %q", code, errw)
+	}
+	if !strings.Contains(out, "x=") {
+		t.Errorf("no matches printed: %q", out)
+	}
+	// The server's cursor-paginated eval runs the cache lookup and the
+	// ranked counting sweep; those stages come back over the wire.
+	if !strings.Contains(errw, "trace:") || !strings.Contains(errw, "cache") || !strings.Contains(errw, "count") {
+		t.Errorf("remote trace breakdown missing: %q", errw)
 	}
 }
 

@@ -34,6 +34,16 @@
 //	-max-timeout D     clamp for request-supplied timeouts
 //	-max-doc-bytes N   POST /add body clamp (default 16 MiB)
 //
+// Observability flags (see the README's "Observability"):
+//
+//	-slow-query D      retain requests at least D slow — with their full
+//	                   stage trace — in GET /debug/slowlog (0 = off)
+//	-slowlog-size N    slow-query ring capacity (default 128)
+//	-pprof             mount the runtime profiles under /debug/pprof/
+//	-log-requests      one structured log line per request on stderr
+//
+// GET /metrics (Prometheus text format) is always on.
+//
 // The listener binds before the corpus is opened: during recovery and
 // ingest every request — /healthz included — answers 503 with the
 // reason, flipping to 200 when serving starts ("ready" on stdout). Load
@@ -54,6 +64,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -89,6 +100,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	snapshotBytes := fs.Int64("snapshot-bytes", 64<<20, "snapshot + prune when the log passes N bytes (0 = never)")
 	lines := fs.String("lines", "", "load one document per line of FILE ('-' = stdin)")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace for in-flight requests")
+	pprofOn := fs.Bool("pprof", false, "mount the runtime profiles under /debug/pprof/")
+	slowQuery := fs.Duration("slow-query", 0, "retain requests at least this slow in /debug/slowlog (0 = off)")
+	slowlogSize := fs.Int("slowlog-size", 0, "slow-query ring capacity (0 = default 128)")
+	logRequests := fs.Bool("log-requests", false, "log one structured line per request to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -163,12 +178,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	srv := server.New(corpus, server.Config{
+	scfg := server.Config{
 		MaxPageSize:    *maxPage,
 		DefaultTimeout: *defaultTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxDocBytes:    *maxDocBytes,
-	})
+		SlowQuery:      *slowQuery,
+		SlowLogSize:    *slowlogSize,
+		EnablePprof:    *pprofOn,
+	}
+	if *logRequests {
+		scfg.Logger = slog.New(slog.NewTextHandler(stderr, nil))
+	}
+	srv := server.New(corpus, scfg)
 	rd.Mount(srv.Handler())
 	fmt.Fprintf(stdout, "ready (%d docs, %d shards)\n", corpus.Len(), corpus.NumShards())
 
@@ -209,7 +231,7 @@ func load(c *spanjoin.Corpus, lines string, files []string) error {
 		if err != nil {
 			return err
 		}
-		if _, err := c.AddErr(string(b)); err != nil {
+		if _, err := c.AddErrCtx(context.Background(), string(b)); err != nil {
 			return err
 		}
 	}
@@ -230,7 +252,7 @@ func load(c *spanjoin.Corpus, lines string, files []string) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	for sc.Scan() {
-		if _, err := c.AddErr(sc.Text()); err != nil {
+		if _, err := c.AddErrCtx(context.Background(), sc.Text()); err != nil {
 			return err
 		}
 	}

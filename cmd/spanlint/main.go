@@ -16,6 +16,7 @@
 //	taxonomy     sentinel errors via errors.Is/As; status maps exhaustive
 //	failpointtag failpoint arming only in failpoints-tagged files
 //	hotpath      //spanjoin:hotpath functions stay alloc-free
+//	obsspan      //spanjoin:stage functions record their stage
 //
 // Exit status is 1 when any diagnostic is reported, 2 on usage or load
 // errors, 0 on a clean tree.
@@ -34,6 +35,7 @@ import (
 	"spanjoin/internal/analysis/failpointtag"
 	"spanjoin/internal/analysis/hotpath"
 	"spanjoin/internal/analysis/load"
+	"spanjoin/internal/analysis/obsspan"
 	"spanjoin/internal/analysis/taxonomy"
 )
 
@@ -45,6 +47,7 @@ func suite() []*analysis.Analyzer {
 		taxonomy.Analyzer,
 		failpointtag.Analyzer,
 		hotpath.Analyzer,
+		obsspan.Analyzer,
 	}
 }
 

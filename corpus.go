@@ -7,6 +7,8 @@ import (
 
 	"spanjoin/internal/core"
 	"spanjoin/internal/corpus"
+	"spanjoin/internal/enum"
+	"spanjoin/internal/obs"
 	"spanjoin/internal/prefilter"
 	"spanjoin/internal/resilience"
 	"spanjoin/internal/span"
@@ -32,6 +34,13 @@ type Corpus struct {
 	cache   *corpus.Cache
 	workers int
 	buffer  int
+
+	// reg is the corpus's metrics registry (see observability.go); always
+	// non-nil, shared by every layer below (store, gate, WAL) and exposed
+	// by Metrics for scraping. planBuild times the compilations that
+	// actually ran (cache misses whose Spanner had no memoized plan yet).
+	reg       *obs.Registry
+	planBuild *obs.Histogram
 }
 
 // corpusConfig collects the options of NewCorpus and Open.
@@ -100,12 +109,27 @@ func NewCorpus(opts ...CorpusOption) *Corpus {
 	if cfg.maxConcurrent > 0 {
 		store.SetGate(resilience.NewGate(int64(cfg.maxConcurrent), cfg.maxQueue))
 	}
-	return &Corpus{
+	return newCorpus(store, cfg)
+}
+
+// newCorpus finishes construction for NewCorpus and Open: the cache, and
+// the metrics registry wired through every layer. The gate and durable
+// half must already be installed on the store — SetRegistry registers
+// their instruments only when present.
+func newCorpus(store *corpus.Store, cfg corpusConfig) *Corpus {
+	c := &Corpus{
 		store:   store,
 		cache:   corpus.NewCache(cfg.cacheCap),
 		workers: cfg.workers,
 		buffer:  cfg.buffer,
+		reg:     obs.NewRegistry(),
 	}
+	store.SetRegistry(c.reg)
+	c.planBuild = c.reg.Histogram("spanjoin_plan_build_seconds", "Compilations of a query plan actually run (cache misses).", nil)
+	c.reg.CounterFunc("spanjoin_cache_hits_total", "Compiled-query cache hits, including singleflight joiners.", func() uint64 { h, _ := c.cache.Stats(); return h })
+	c.reg.CounterFunc("spanjoin_cache_misses_total", "Compiled-query cache misses (compilations run).", func() uint64 { _, m := c.cache.Stats(); return m })
+	c.reg.Gauge("spanjoin_cache_resident", "Compiled artifacts currently cached.", func() float64 { return float64(c.cache.Len()) })
+	return c
 }
 
 // Add appends a document and returns its stable ID. The empty string is
@@ -286,7 +310,7 @@ func (c *Corpus) evalOptions(req prefilter.Requirement, o core.Options) corpus.E
 // documents, like Spanner.Eval; use EvalSearch for substring semantics.
 // Options bound the evaluation: WithTimeout, WithLimit, WithBudget.
 func (c *Corpus) Eval(ctx context.Context, pattern string, opts ...Option) (*CorpusMatches, error) {
-	sp, err := c.compileCached("anchor", pattern, Compile)
+	sp, err := c.compileCached(ctx, "anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +321,7 @@ func (c *Corpus) Eval(ctx context.Context, pattern string, opts ...Option) (*Cor
 // unanchored (CompileSearch), cached separately from anchored compiles of
 // the same source.
 func (c *Corpus) EvalSearch(ctx context.Context, pattern string, opts ...Option) (*CorpusMatches, error) {
-	sp, err := c.compileCached("search", pattern, CompileSearch)
+	sp, err := c.compileCached(ctx, "search", pattern, CompileSearch)
 	if err != nil {
 		return nil, err
 	}
@@ -306,15 +330,37 @@ func (c *Corpus) EvalSearch(ctx context.Context, pattern string, opts ...Option)
 
 // compileCached deduplicates compilation through the LRU cache, keyed by
 // the pattern source plus the compilation mode; concurrent misses on one
-// key compile once.
-func (c *Corpus) compileCached(mode, pattern string, compile func(string) (*Spanner, error)) (*Spanner, error) {
+// key compile once. A traced query records the lookup as the cache stage,
+// with Items=1 on a miss (the compile closure runs on this goroutine, so
+// the flag needs no synchronization) and Items=0 on a hit.
+//
+//spanjoin:stage cache
+func (c *Corpus) compileCached(ctx context.Context, mode, pattern string, compile func(string) (*Spanner, error)) (*Spanner, error) {
+	t0 := time.Now()
+	var missed int64
 	v, err := c.cache.Get(mode+"\x00"+pattern, func() (any, error) {
+		missed = 1
 		return compile(pattern)
 	})
+	obs.FromContext(ctx).ObserveItems(obs.StageCache, time.Since(t0), missed)
 	if err != nil {
 		return nil, err
 	}
 	return v.(*Spanner), nil
+}
+
+// recordPlanBuild attributes a plan compilation that this query actually
+// ran — built is false for every later call hitting the memoized plan —
+// to the plan-build histogram and the query's trace.
+//
+//spanjoin:stage plan_build
+func (c *Corpus) recordPlanBuild(ctx context.Context, p *enum.Plan, built bool) {
+	if !built || p == nil {
+		return
+	}
+	d := p.BuildDuration()
+	c.planBuild.Observe(d)
+	obs.FromContext(ctx).Observe(obs.StagePlan, d)
 }
 
 // EvalSpanner evaluates a precompiled spanner over every document in the
@@ -327,10 +373,11 @@ func (c *Corpus) compileCached(mode, pattern string, compile func(string) (*Span
 // An overloaded corpus (WithMaxConcurrent) sheds the call synchronously
 // with ErrOverloaded before any worker starts.
 func (c *Corpus) EvalSpanner(ctx context.Context, sp *Spanner, opts ...Option) (*CorpusMatches, error) {
-	p, err := sp.compiledPlan()
+	p, built, err := sp.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
+	c.recordPlanBuild(ctx, p, built)
 	res, err := c.store.EvalPlan(ctx, p, c.evalOptions(sp.req, buildOptions(opts)))
 	if err != nil {
 		return nil, err
@@ -357,10 +404,11 @@ func (c *Corpus) EvalQuery(ctx context.Context, q *Query, opts ...Option) (*Corp
 		// document independent; compile once per Query — automaton,
 		// closures and transition table — and share it across the worker
 		// pool and across repeated EvalQuery calls.
-		p, err := q.compiledPlan()
+		p, built, err := q.compiledPlan()
 		if err != nil {
 			return nil, err
 		}
+		c.recordPlanBuild(ctx, p, built)
 		res, err := c.store.EvalPlan(ctx, p, c.evalOptions(req, o))
 		if err != nil {
 			return nil, err

@@ -25,7 +25,7 @@ import (
 // per document, cost independent of its result count), and documents the
 // prefilter or skip index excludes count as 0 without being visited.
 func (c *Corpus) Count(ctx context.Context, pattern string, opts ...Option) (MatchCount, error) {
-	sp, err := c.compileCached("anchor", pattern, Compile)
+	sp, err := c.compileCached(ctx, "anchor", pattern, Compile)
 	if err != nil {
 		return MatchCount{}, err
 	}
@@ -34,7 +34,7 @@ func (c *Corpus) Count(ctx context.Context, pattern string, opts ...Option) (Mat
 
 // CountSearch is Count with substring semantics (CompileSearch).
 func (c *Corpus) CountSearch(ctx context.Context, pattern string, opts ...Option) (MatchCount, error) {
-	sp, err := c.compileCached("search", pattern, CompileSearch)
+	sp, err := c.compileCached(ctx, "search", pattern, CompileSearch)
 	if err != nil {
 		return MatchCount{}, err
 	}
@@ -55,7 +55,7 @@ func (c *Corpus) CountSpanner(ctx context.Context, sp *Spanner, opts ...Option) 
 // CountAll is Count broken down by document: the exact per-document
 // match counts, keyed by DocID. Documents without matches have no entry.
 func (c *Corpus) CountAll(ctx context.Context, pattern string, opts ...Option) (map[DocID]MatchCount, error) {
-	sp, err := c.compileCached("anchor", pattern, Compile)
+	sp, err := c.compileCached(ctx, "anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
@@ -71,10 +71,11 @@ func (c *Corpus) CountAll(ctx context.Context, pattern string, opts ...Option) (
 }
 
 func (c *Corpus) countSpanner(ctx context.Context, sp *Spanner, o core.Options, perDoc bool) (*corpus.CountResult, error) {
-	p, err := sp.compiledPlan()
+	p, built, err := sp.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
+	c.recordPlanBuild(ctx, p, built)
 	return c.store.CountPlan(ctx, p, c.evalOptions(sp.req, o), perDoc)
 }
 
@@ -88,10 +89,11 @@ func (c *Corpus) CountQuery(ctx context.Context, q *Query, opts ...Option) (Matc
 	o := buildOptions(opts)
 	eo := c.evalOptions(q.requirement(), o)
 	if len(q.cq.Equalities) == 0 && o.Strategy != core.Canonical {
-		p, err := q.compiledPlan()
+		p, built, err := q.compiledPlan()
 		if err != nil {
 			return MatchCount{}, err
 		}
+		c.recordPlanBuild(ctx, p, built)
 		res, err := c.store.CountPlan(ctx, p, eo, false)
 		if err != nil {
 			return MatchCount{}, err
@@ -127,7 +129,7 @@ type Page struct {
 // N costs the same as page 0: offset does not buy offset Next calls.
 // The exact Total rides along for pagination UIs.
 func (c *Corpus) EvalPage(ctx context.Context, pattern string, offset uint64, limit int, opts ...Option) (*Page, error) {
-	sp, err := c.compileCached("anchor", pattern, Compile)
+	sp, err := c.compileCached(ctx, "anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +138,7 @@ func (c *Corpus) EvalPage(ctx context.Context, pattern string, offset uint64, li
 
 // EvalSearchPage is EvalPage with substring semantics (CompileSearch).
 func (c *Corpus) EvalSearchPage(ctx context.Context, pattern string, offset uint64, limit int, opts ...Option) (*Page, error) {
-	sp, err := c.compileCached("search", pattern, CompileSearch)
+	sp, err := c.compileCached(ctx, "search", pattern, CompileSearch)
 	if err != nil {
 		return nil, err
 	}
@@ -155,10 +157,11 @@ func (c *Corpus) EvalSpannerPage(ctx context.Context, sp *Spanner, offset uint64
 		defer cancel()
 		o.Timeout = 0 // the derived context carries the deadline
 	}
-	p, err := sp.compiledPlan()
+	p, built, err := sp.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
+	c.recordPlanBuild(ctx, p, built)
 	res, err := c.store.PagePlan(ctx, p, c.evalOptions(sp.req, o), offset, limit)
 	if err != nil {
 		return nil, err
@@ -193,7 +196,7 @@ func (c *Corpus) EvalSpannerPage(ctx context.Context, sp *Spanner, offset uint64
 // then each draw is a weighted document pick plus one ranked DAG descent
 // — no enumeration anywhere. Returns nil when there are no matches.
 func (c *Corpus) Sample(ctx context.Context, pattern string, rng *rand.Rand, k int, opts ...Option) ([]CorpusMatch, error) {
-	sp, err := c.compileCached("anchor", pattern, Compile)
+	sp, err := c.compileCached(ctx, "anchor", pattern, Compile)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +205,7 @@ func (c *Corpus) Sample(ctx context.Context, pattern string, rng *rand.Rand, k i
 
 // SampleSearch is Sample with substring semantics (CompileSearch).
 func (c *Corpus) SampleSearch(ctx context.Context, pattern string, rng *rand.Rand, k int, opts ...Option) ([]CorpusMatch, error) {
-	sp, err := c.compileCached("search", pattern, CompileSearch)
+	sp, err := c.compileCached(ctx, "search", pattern, CompileSearch)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package spanjoin
 
 import (
+	"context"
 	"time"
 
 	"spanjoin/internal/corpus"
@@ -87,12 +88,7 @@ func Open(dir string, opts ...CorpusOption) (*Corpus, error) {
 	if cfg.maxConcurrent > 0 {
 		store.SetGate(resilience.NewGate(int64(cfg.maxConcurrent), cfg.maxQueue))
 	}
-	return &Corpus{
-		store:   store,
-		cache:   corpus.NewCache(cfg.cacheCap),
-		workers: cfg.workers,
-		buffer:  cfg.buffer,
-	}, nil
+	return newCorpus(store, cfg), nil
 }
 
 // Durable reports whether the corpus is backed by a data directory.
@@ -102,7 +98,16 @@ func (c *Corpus) Durable() bool { return c.store.Durable() }
 // instead of panicking: on a durable corpus whose log has failed (a full
 // disk, a failed fsync) every AddErr reports the sticky error and the
 // document is not added. On a RAM corpus AddErr never fails.
-func (c *Corpus) AddErr(doc string) (DocID, error) { return c.store.AddErr(doc) }
+func (c *Corpus) AddErr(doc string) (DocID, error) {
+	return c.store.AddErrCtx(context.Background(), doc)
+}
+
+// AddErrCtx is AddErr with the caller's context: a traced context
+// (WithTrace) records the write's WAL append and fsync stages. The
+// context does not cancel the write.
+func (c *Corpus) AddErrCtx(ctx context.Context, doc string) (DocID, error) {
+	return c.store.AddErrCtx(ctx, doc)
+}
 
 // Sync forces every acknowledged Add to stable storage regardless of the
 // fsync policy. No-op on a RAM corpus.

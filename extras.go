@@ -87,7 +87,7 @@ func (b *QueryBuilder) EqualAll(vars ...string) *QueryBuilder {
 func (q *Query) Count(doc string, opts ...Option) (MatchCount, error) {
 	o := buildOptions(opts)
 	if len(q.cq.Equalities) == 0 && o.Strategy != StrategyCanonical {
-		p, err := q.compiledPlan()
+		p, _, err := q.compiledPlan()
 		if err != nil {
 			return MatchCount{}, err
 		}

@@ -1,0 +1,12 @@
+package obsspan_test
+
+import (
+	"testing"
+
+	"spanjoin/internal/analysis/analysistest"
+	"spanjoin/internal/analysis/obsspan"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, obsspan.Analyzer, "testdata/src", "", "./...")
+}

@@ -1,0 +1,37 @@
+// Package obs is the fixture's stand-in for spanjoin/internal/obs: the
+// Stage type, a subset of the stage constants (values match the real
+// taxonomy — the analyzer's known set comes from the real package), and
+// a Trace with the recording surface.
+package obs
+
+import "time"
+
+// Stage names one pipeline phase.
+type Stage string
+
+const (
+	StageCache     Stage = "cache"
+	StagePlan      Stage = "plan_build"
+	StagePrefilter Stage = "prefilter"
+	StageEnumerate Stage = "enumerate"
+	StageWALAppend Stage = "wal_append"
+	StageWALSync   Stage = "wal_fsync"
+)
+
+// Trace accumulates per-stage timings.
+type Trace struct{}
+
+// Observe records d against the stage.
+func (t *Trace) Observe(s Stage, d time.Duration) { _, _ = s, d }
+
+// ObserveItems records d and n work units against the stage.
+func (t *Trace) ObserveItems(s Stage, d time.Duration, n int64) { _, _, _ = s, d, n }
+
+// Span is an open stage measurement.
+type Span struct{}
+
+// Start opens a span for the stage.
+func (t *Trace) Start(s Stage) Span { _ = s; return Span{} }
+
+// End closes the span.
+func (sp Span) End() {}

@@ -1,0 +1,80 @@
+// Package pipeline is the obsspan golden fixture: annotated recording
+// sites that keep their promise, and each way of breaking it.
+package pipeline
+
+import (
+	"time"
+
+	"fixture/obs"
+)
+
+var tr = &obs.Trace{}
+
+// Lookup records the stage it is annotated with: clean.
+//
+//spanjoin:stage cache
+func Lookup() {
+	t0 := time.Now()
+	tr.ObserveItems(obs.StageCache, time.Since(t0), 1)
+}
+
+// Append records both of its annotated stages: clean.
+//
+//spanjoin:stage wal_append
+//spanjoin:stage wal_fsync
+func Append() {
+	tr.Observe(obs.StageWALSync, time.Millisecond)
+	tr.Observe(obs.StageWALAppend, time.Millisecond)
+}
+
+// Spanned records through the Start/End span form: clean.
+//
+//spanjoin:stage prefilter
+func Spanned() {
+	sp := tr.Start(obs.StagePrefilter)
+	defer sp.End()
+}
+
+// Deferred records from a closure, the shape of a worker-pool
+// completion: clean.
+//
+//spanjoin:stage enumerate
+func Deferred() {
+	go func() {
+		tr.ObserveItems(obs.StageEnumerate, time.Second, 10)
+	}()
+}
+
+// Forgot promises a stage and records nothing.
+//
+//spanjoin:stage enumerate
+func Forgot() { // want "annotated //spanjoin:stage enumerate but never records"
+	_ = time.Now()
+}
+
+// Mismatched promises plan_build but records cache.
+//
+//spanjoin:stage plan_build
+func Mismatched() { // want "annotated //spanjoin:stage plan_build but never records"
+	tr.Observe(obs.StageCache, time.Millisecond)
+}
+
+// Unknown names a stage outside the taxonomy.
+//
+//spanjoin:stage warp_drive
+func Unknown() { // want "unknown stage \"warp_drive\""
+	tr.Observe("warp_drive", time.Millisecond)
+}
+
+// Bare carries a nameless directive.
+//
+//spanjoin:stage
+func Bare() { // want "wants exactly one stage name"
+	tr.Observe(obs.StageCache, time.Millisecond)
+}
+
+// Unrelated uses a longer spanjoin: word — not this directive, not
+// checked.
+//
+//spanjoin:stagecraft prop
+func Unrelated() {}

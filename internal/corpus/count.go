@@ -5,8 +5,10 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"spanjoin/internal/enum"
+	"spanjoin/internal/obs"
 	"spanjoin/internal/ranked"
 	"spanjoin/internal/resilience"
 	"spanjoin/internal/span"
@@ -73,21 +75,30 @@ func (s *Store) CountFunc(ctx context.Context, newEval NewDocEval, opt EvalOptio
 // countDocs is the shared fan-out: shards are dealt to workers exactly
 // like run(), each worker aggregates locally and merges once at the end,
 // so the only cross-worker synchronization is one mutex acquisition per
-// worker.
+// worker. Like run it reports into a trace carried on ctx: the admission
+// wait and, after the sweep, the count stage with the scanned-document
+// tally.
+//
+//spanjoin:stage admission_wait
+//spanjoin:stage count
 func (s *Store) countDocs(ctx context.Context, newCounter func(stop func() bool) docCounter, opt EvalOptions, perDoc bool) (*CountResult, error) {
+	tr := obs.FromContext(ctx)
 	cctx, cancel := opt.evalCtx(ctx)
 	defer cancel()
 	stop := func() bool { return cctx.Err() != nil }
 	if g := s.gate; g != nil {
 		// Counts spin the same worker pools as streams, so they pass the
 		// same admission gate; the queue wait respects the deadline.
-		if err := g.Acquire(cctx, 1); err != nil {
+		t0 := time.Now()
+		err := g.Acquire(cctx, 1)
+		tr.Observe(obs.StageAdmission, time.Since(t0))
+		if err != nil {
 			return nil, err
 		}
 		defer g.Release(1)
 	}
 
-	shards := s.plan(opt.Required)
+	shards := s.planTraced(ctx, opt.Required)
 	res := &CountResult{}
 	idxSkipped, busy := planStats(shards)
 	res.Skipped += idxSkipped
@@ -131,6 +142,7 @@ func (s *Store) countDocs(ctx context.Context, newCounter func(stop func() bool)
 	}
 
 	shardCh := dealShards(cctx, shards, fail)
+	sweepStart := time.Now()
 	for w := 0; w < workers; w++ {
 		counter := counters[w]
 		wg.Add(1)
@@ -190,6 +202,9 @@ func (s *Store) countDocs(ctx context.Context, newCounter func(stop func() bool)
 		}()
 	}
 	wg.Wait()
+	sweep := time.Since(sweepStart)
+	s.met.countDur.Observe(sweep)
+	tr.ObserveItems(obs.StageCount, sweep, int64(res.Scanned))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

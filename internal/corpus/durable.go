@@ -1,10 +1,12 @@
 package corpus
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"spanjoin/internal/obs"
 	"spanjoin/internal/resilience"
 	"spanjoin/internal/wal"
 )
@@ -158,14 +160,39 @@ func (s *Store) DurabilityStats() DurabilityStats {
 // store it returns the log's error — and then the document was NOT added
 // (nothing unlogged becomes visible). Safe for concurrent use.
 func (s *Store) AddErr(doc string) (DocID, error) {
+	return s.AddErrCtx(context.Background(), doc)
+}
+
+// AddErrCtx is AddErr with the caller's context: when the context
+// carries a trace (obs.WithTrace), the write-ahead-log append and the
+// fsync its policy forced are recorded as the wal_append and wal_fsync
+// stages, so a traced write explains where its latency went. The context
+// does not cancel the write — a logged record is a logged record.
+//
+//spanjoin:stage wal_append
+//spanjoin:stage wal_fsync
+func (s *Store) AddErrCtx(ctx context.Context, doc string) (DocID, error) {
 	d := s.dur
 	if d == nil {
 		return s.Add(doc), nil
 	}
+	tr := obs.FromContext(ctx)
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	t0 := time.Now()
 	si := s.rr.Add(1) % uint64(len(s.shards))
 	seq, err := d.log.Append(uint32(si), doc)
+	if tr != nil {
+		total := time.Since(t0)
+		var synced time.Duration
+		if err == nil && d.log.Policy() == wal.SyncAlways {
+			// d.mu serializes appends, so the log's last fsync is exactly
+			// the one this append paid.
+			synced = d.log.LastSyncDuration()
+			tr.Observe(obs.StageWALSync, synced)
+		}
+		tr.Observe(obs.StageWALAppend, total-synced)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -205,6 +232,8 @@ func (s *Store) Snapshot() error {
 	}
 	d.snapMu.Lock()
 	defer d.snapMu.Unlock()
+	t0 := time.Now()
+	defer func() { s.met.snapshot.Observe(time.Since(t0)) }()
 
 	d.mu.Lock()
 	gen, err := d.log.Rotate()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spanjoin/internal/enum"
+	"spanjoin/internal/obs"
 	"spanjoin/internal/prefilter"
 	"spanjoin/internal/resilience"
 	"spanjoin/internal/span"
@@ -233,7 +234,7 @@ func exhausted(vars span.VarList) *Results {
 // they arrive in the engine's deterministic radix order.
 func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (res *Results, err error) {
 	defer resilience.RecoverTo(&err)
-	shards := s.plan(opt.Required)
+	shards := s.planTraced(ctx, opt.Required)
 	total := 0
 	for i := range shards {
 		total += len(shards[i].docs)
@@ -257,7 +258,7 @@ func (s *Store) Eval(ctx context.Context, a *vsa.VSA, opt EvalOptions) (res *Res
 // store's admission gate sheds the query.
 func (s *Store) EvalPlan(ctx context.Context, p *enum.Plan, opt EvalOptions) (res *Results, err error) {
 	defer resilience.RecoverTo(&err)
-	return s.evalShards(ctx, p, s.plan(opt.Required), opt)
+	return s.evalShards(ctx, p, s.planTraced(ctx, opt.Required), opt)
 }
 
 // evalShards runs the shared-enumerator fast path over a planned snapshot:
@@ -294,7 +295,7 @@ func (s *Store) evalShards(ctx context.Context, p *enum.Plan, shards []evalShard
 // document.
 func (s *Store) EvalFunc(ctx context.Context, vars span.VarList, newEval NewDocEval, opt EvalOptions) (res *Results, err error) {
 	defer resilience.RecoverTo(&err)
-	return s.run(ctx, s.plan(opt.Required), vars, newEval, opt)
+	return s.run(ctx, s.planTraced(ctx, opt.Required), vars, newEval, opt)
 }
 
 // planStats tallies a planned snapshot: the documents the skip index
@@ -385,13 +386,25 @@ func materializeEvals(newEval NewDocEval, stop func() bool, workers int) (evals 
 // goroutine started), every pool goroutine — worker, dealer, closer —
 // recovers panics into *resilience.PanicError on the stream, and the
 // worker loop meters the limit and budget.
+//
+// run is also where the observability layer hooks in: a trace carried on
+// ctx (obs.WithTrace) receives the admission wait and, once the pool has
+// drained, the enumerate stage with the delivered-result count; the
+// store's metrics record the same numbers corpus-wide.
+//
+//spanjoin:stage admission_wait
+//spanjoin:stage enumerate
 func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, newEval NewDocEval, opt EvalOptions) (*Results, error) {
+	tr := obs.FromContext(ctx)
 	cctx, cancel := opt.evalCtx(ctx)
 	release := func() {}
 	if g := s.gate; g != nil {
 		// The admission wait respects the query's own deadline: a queued
 		// query whose deadline fires sheds with the context's error.
-		if err := g.Acquire(cctx, 1); err != nil {
+		t0 := time.Now()
+		err := g.Acquire(cctx, 1)
+		tr.Observe(obs.StageAdmission, time.Since(t0))
+		if err != nil {
 			cancel()
 			return nil, err
 		}
@@ -433,6 +446,7 @@ func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, 
 		cancel()
 	})
 	done := cctx.Done()
+	poolStart := time.Now()
 	var wg sync.WaitGroup
 	for w := range evals {
 		eval := evals[w]
@@ -519,11 +533,20 @@ func (s *Store) run(ctx context.Context, shards []evalShard, vars span.VarList, 
 			if p := recover(); p != nil {
 				res.setErr(resilience.NewPanicError(resilience.NoDoc, p))
 			}
-			// The pool is gone: release the derived context's registration
-			// on ctx so streams drained without Close don't leak it
-			// (Close's own cancel stays idempotent), and give the
-			// admission slot back only now — admission bounds live pools,
-			// not just query starts.
+			// The pool is gone: record its lifetime (the enumerate stage)
+			// and final counters before the channel closes — the consumer
+			// reads the trace only after Next returns false, so the close
+			// below publishes these writes to it.
+			d := time.Since(poolStart)
+			s.met.evalDur.Observe(d)
+			tr.ObserveItems(obs.StageEnumerate, d, int64(res.delivered.Load()))
+			s.met.docsScanned.Add(res.scanned.Load())
+			s.met.docsSkipped.Add(res.skipped.Load())
+			s.met.results.Add(res.delivered.Load())
+			// Release the derived context's registration on ctx so streams
+			// drained without Close don't leak it (Close's own cancel stays
+			// idempotent), and give the admission slot back only now —
+			// admission bounds live pools, not just query starts.
 			cancel()
 			release()
 			close(res.ch)

@@ -49,6 +49,10 @@ type Store struct {
 	// dur, when set, is the store's durable half (see durable.go): every
 	// Add goes through the write-ahead log first. nil for a RAM store.
 	dur *durability
+
+	// met holds the store's metrics instruments (see obs.go); the zero
+	// value records nothing.
+	met storeMetrics
 }
 
 // SetGate installs the store's admission gate. Call before the store

@@ -3,6 +3,7 @@ package enum
 import (
 	"context"
 	"sort"
+	"time"
 
 	"spanjoin/internal/bitset"
 	"spanjoin/internal/span"
@@ -28,6 +29,7 @@ type Plan struct {
 	configs   []vsa.Config
 	charAdj   [][]vsa.Tr
 	emptyLang bool
+	buildDur  time.Duration
 }
 
 // maxLinkListEntries caps the precomputed per-class successor lists at 2²¹
@@ -104,11 +106,13 @@ func NewPlan(a *vsa.VSA) (*Plan, error) {
 // (per-document automata, the differential reference) skip the table and
 // link-list construction, whose cost only pays off across repeated builds.
 func newPlan(a *vsa.VSA, withTable bool) (*Plan, error) {
+	t0 := time.Now()
 	t, ct, err := a.RequireFunctional()
 	if err != nil {
 		return nil, err
 	}
 	p := &Plan{vars: t.Vars, auto: t}
+	defer func() { p.buildDur = time.Since(t0) }()
 	if t.NumStates() == 2 && t.NumTransitions() == 0 && t.Init != t.Final {
 		p.emptyLang = true
 		return p, nil
@@ -132,6 +136,11 @@ func newPlan(a *vsa.VSA, withTable bool) (*Plan, error) {
 
 // Vars returns the variable list of the compiled spanner.
 func (p *Plan) Vars() span.VarList { return p.vars }
+
+// BuildDuration reports the wall time NewPlan spent compiling this plan
+// — the number a plan_build trace span records when the compilation
+// actually ran this query (memoized plans are free and record nothing).
+func (p *Plan) BuildDuration() time.Duration { return p.buildDur }
 
 // ByteClasses reports the number of byte equivalence classes of the
 // compiled transition table (0 for empty-language plans, which carry none).

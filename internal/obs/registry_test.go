@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	r := NewRegistry()
+	c = r.Counter("sj_test_total", "help")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("Value = %d, want 3", got)
+	}
+	if again := r.Counter("sj_test_total", "help"); again != c {
+		t.Fatal("re-registration did not return the same counter")
+	}
+}
+
+func TestHistogramZeroObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sj_empty_seconds", "help", nil)
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	// The exposition must still be well-formed: all-zero buckets, zero
+	// sum and count.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `sj_empty_seconds_bucket{le="+Inf"} 0`) {
+		t.Fatalf("missing +Inf bucket in:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "sj_empty_seconds_count 0") {
+		t.Fatalf("missing zero count in:\n%s", sb.String())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	buckets := []time.Duration{time.Millisecond, 10 * time.Millisecond}
+	h := r.Histogram("sj_overflow_seconds", "help", buckets)
+	h.Observe(time.Hour) // far beyond the last bound
+	h.Observe(2 * time.Hour)
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	// Every quantile lands in the overflow bucket, which reports the
+	// largest finite bound — the histogram cannot resolve further.
+	if got := h.Quantile(0.5); got != 10*time.Millisecond {
+		t.Fatalf("Quantile(0.5) = %v, want %v", got, 10*time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `sj_overflow_seconds_bucket{le="0.01"} 0`) {
+		t.Fatalf("finite buckets should be empty:\n%s", out)
+	}
+	if !strings.Contains(out, `sj_overflow_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket should hold both observations:\n%s", out)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	// 100 observations uniformly inside (10ms, 20ms]: the p50 rank is
+	// halfway through that bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(15 * time.Millisecond)
+	}
+	got := h.Quantile(0.5)
+	if got < 10*time.Millisecond || got > 20*time.Millisecond {
+		t.Fatalf("Quantile(0.5) = %v, want within (10ms, 20ms]", got)
+	}
+	if h.Quantile(1) != 20*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want bucket upper bound", h.Quantile(1))
+	}
+	// An observation exactly on a bound belongs to that bound's bucket
+	// (le is inclusive, like Prometheus).
+	h2 := newHistogram([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond})
+	h2.Observe(10 * time.Millisecond)
+	if got := h2.Quantile(1); got > 10*time.Millisecond {
+		t.Fatalf("boundary observation leaked past its bucket: %v", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sj_conc_seconds", "help", nil)
+	const (
+		goroutines = 8
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	// Scrape concurrently with the writers: must be race-free and
+	// well-formed even mid-update.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// sampleLine matches one exposition sample; comment lines are checked
+// separately.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? -?[0-9.eE+-]+$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sj_requests_total", "requests", Label{"handler", "eval"}, Label{"code", "200"}).Add(3)
+	r.Gauge("sj_queue_depth", "queued callers", func() float64 { return 2.5 })
+	r.CounterFunc("sj_hits_total", "cache hits", func() uint64 { return 42 })
+	h := r.Histogram("sj_lat_seconds", "latency", []time.Duration{time.Millisecond, time.Second})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Second)
+	r.Counter("sj_escape_total", "escaping", Label{"q", `a"b\c` + "\n"}).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	sc := bufio.NewScanner(strings.NewReader(out))
+	types := map[string]string{}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+	}
+	for name, want := range map[string]string{
+		"sj_requests_total": "counter",
+		"sj_queue_depth":    "gauge",
+		"sj_hits_total":     "counter",
+		"sj_lat_seconds":    "histogram",
+	} {
+		if types[name] != want {
+			t.Fatalf("TYPE %s = %q, want %q", name, types[name], want)
+		}
+	}
+	for _, want := range []string{
+		`sj_requests_total{handler="eval",code="200"} 3`,
+		"sj_queue_depth 2.5",
+		"sj_hits_total 42",
+		`sj_lat_seconds_bucket{le="0.001"} 1`,
+		`sj_lat_seconds_bucket{le="1"} 1`,
+		`sj_lat_seconds_bucket{le="+Inf"} 2`,
+		"sj_lat_seconds_count 2",
+		`sj_escape_total{q="a\"b\\c\n"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative (monotone non-decreasing).
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "sj_lat_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket value in %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("non-cumulative buckets: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSnapshotQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("sj_snap_seconds", "help", nil)
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	r.Counter("sj_snap_total", "help").Add(5)
+	pts := r.Snapshot()
+	byName := map[string]MetricPoint{}
+	for _, p := range pts {
+		byName[p.Name] = p
+	}
+	hp := byName["sj_snap_seconds"]
+	if hp.Count != 10 || hp.P99Sec <= 0 || math.IsNaN(hp.P99Sec) {
+		t.Fatalf("histogram point = %+v", hp)
+	}
+	if cp := byName["sj_snap_total"]; cp.Value != 5 {
+		t.Fatalf("counter point = %+v", cp)
+	}
+}
+
+func TestInvalidMetricNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on invalid metric name")
+		}
+	}()
+	NewRegistry().Counter("0bad name", "help")
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one slow query's record: enough to reproduce the request
+// (endpoint + raw query string), correlate it with client-side errors
+// (the request ID echoed in X-Request-Id), and explain it (the full
+// stage trace).
+type SlowEntry struct {
+	ID       string        `json:"id"`
+	Time     time.Time     `json:"time"`
+	Endpoint string        `json:"endpoint"`
+	Query    string        `json:"query"`
+	Status   int           `json:"status"`
+	Dur      time.Duration `json:"dur_ns"`
+	Stages   []StageSpan   `json:"stages,omitempty"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of the most recent slow
+// queries. Writers overwrite the oldest entry once the ring is full;
+// Snapshot gives readers a consistent newest-first copy. Safe for
+// concurrent use by any number of writers and readers.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	ring  []SlowEntry
+	next  int    // ring index the next entry lands in
+	total uint64 // entries ever recorded
+}
+
+// NewSlowLog creates a ring of the given capacity (minimum 1) recording
+// queries at least as slow as threshold; threshold ≤ 0 disables
+// recording entirely.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, ring: make([]SlowEntry, 0, capacity)}
+}
+
+// Threshold reports the configured slowness bound; ≤ 0 means disabled.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Observe records the entry iff its duration meets the threshold
+// (boundary inclusive: a query exactly at the threshold is slow),
+// reporting whether it was recorded.
+func (l *SlowLog) Observe(e SlowEntry) bool {
+	if l == nil || l.threshold <= 0 || e.Dur < l.threshold {
+		return false
+	}
+	l.mu.Lock()
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		l.ring[l.next] = e
+	}
+	l.next = (l.next + 1) % cap(l.ring)
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Total reports how many slow queries have ever been recorded (not
+// bounded by the ring's capacity).
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot copies the retained entries, newest first.
+func (l *SlowLog) Snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.ring))
+	// next-1 is the newest entry; walk backwards through the ring.
+	for i := 0; i < len(l.ring); i++ {
+		idx := (l.next - 1 - i + len(l.ring)) % len(l.ring)
+		out = append(out, l.ring[idx])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(id string, d time.Duration) SlowEntry {
+	return SlowEntry{ID: id, Endpoint: "/eval", Dur: d}
+}
+
+func TestSlowLogThresholdBoundary(t *testing.T) {
+	l := NewSlowLog(4, 100*time.Millisecond)
+	if l.Observe(entry("fast", 99*time.Millisecond)) {
+		t.Fatal("recorded a query under the threshold")
+	}
+	if !l.Observe(entry("exact", 100*time.Millisecond)) {
+		t.Fatal("a query exactly at the threshold is slow — boundary is inclusive")
+	}
+	if !l.Observe(entry("slow", 101*time.Millisecond)) {
+		t.Fatal("failed to record a slow query")
+	}
+	if got := l.Total(); got != 2 {
+		t.Fatalf("Total = %d, want 2", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "slow" || snap[1].ID != "exact" {
+		t.Fatalf("snapshot = %+v, want newest first", snap)
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	l := NewSlowLog(4, 0)
+	if l.Observe(entry("any", time.Hour)) {
+		t.Fatal("zero threshold must disable recording")
+	}
+	var nilLog *SlowLog
+	if nilLog.Observe(entry("any", time.Hour)) || nilLog.Snapshot() != nil || nilLog.Total() != 0 {
+		t.Fatal("nil slowlog must no-op")
+	}
+}
+
+func TestSlowLogWraparound(t *testing.T) {
+	l := NewSlowLog(3, time.Millisecond)
+	for i := 0; i < 7; i++ {
+		l.Observe(entry(fmt.Sprintf("q%d", i), time.Second))
+	}
+	if got := l.Total(); got != 7 {
+		t.Fatalf("Total = %d, want 7", got)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot length = %d, want capacity 3", len(snap))
+	}
+	for i, want := range []string{"q6", "q5", "q4"} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (newest first after wrap)", i, snap[i].ID, want)
+		}
+	}
+}
+
+func TestSlowLogConcurrentReaders(t *testing.T) {
+	l := NewSlowLog(8, time.Millisecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := l.Snapshot()
+				if len(snap) > 8 {
+					panic("snapshot exceeds capacity")
+				}
+				for _, e := range snap {
+					if e.ID == "" {
+						panic("snapshot exposed an unwritten slot")
+					}
+				}
+				l.Total()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				l.Observe(entry(fmt.Sprintf("w%d-%d", w, i), time.Second))
+			}
+		}(w)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if got := l.Total(); got != 4*250 {
+		t.Fatalf("Total = %d, want %d", got, 4*250)
+	}
+}

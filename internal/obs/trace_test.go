@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Observe(StageEnumerate, time.Second)
+	tr.ObserveItems(StageCache, time.Second, 1)
+	sp := tr.Start(StagePlan)
+	sp.End()
+	sp.EndItems(3)
+	if tr.Spans() != nil {
+		t.Fatal("nil trace returned spans")
+	}
+	if tr.Total() != 0 {
+		t.Fatal("nil trace returned nonzero total")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("untraced context returned a trace")
+	}
+	ctx, tr := WithTrace(context.Background())
+	if got := FromContext(ctx); got != tr {
+		t.Fatal("FromContext did not return the attached trace")
+	}
+}
+
+func TestTraceMergesRepeatedStages(t *testing.T) {
+	tr := NewTrace()
+	tr.ObserveItems(StageEnumerate, 10*time.Millisecond, 5)
+	tr.ObserveItems(StageEnumerate, 15*time.Millisecond, 7)
+	tr.Observe(StagePrefilter, time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 (repeats merge)", len(spans))
+	}
+	var enum StageSpan
+	for _, s := range spans {
+		if s.Stage == StageEnumerate {
+			enum = s
+		}
+	}
+	if enum.Dur != 25*time.Millisecond || enum.Items != 12 || enum.Calls != 2 {
+		t.Fatalf("merged span = %+v", enum)
+	}
+}
+
+func TestSpanRecordsElapsed(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start(StageWALAppend)
+	time.Sleep(2 * time.Millisecond)
+	sp.EndItems(1)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != StageWALAppend {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Dur < time.Millisecond {
+		t.Fatalf("span duration %v too short", spans[0].Dur)
+	}
+	if tr.Total() < spans[0].Dur {
+		t.Fatalf("trace total %v < span %v", tr.Total(), spans[0].Dur)
+	}
+}
+
+func TestTraceConcurrentObserve(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	stages := []Stage{StageEnumerate, StagePrefilter, StageAdmission, StageCache}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.ObserveItems(stages[g%len(stages)], time.Microsecond, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var items int64
+	for _, s := range tr.Spans() {
+		items += s.Items
+	}
+	if items != 8*500 {
+		t.Fatalf("items = %d, want %d", items, 8*500)
+	}
+}
+
+func TestStageSpanJSONShape(t *testing.T) {
+	b, err := json.Marshal(StageSpan{Stage: StageEnumerate, Start: 5, Dur: 10, Items: 2, Calls: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"stage":"enumerate","start_ns":5,"dur_ns":10,"items":2,"calls":1}`
+	if string(b) != want {
+		t.Fatalf("json = %s, want %s", b, want)
+	}
+}

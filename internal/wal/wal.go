@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spanjoin/internal/obs"
 	"spanjoin/internal/resilience"
 )
 
@@ -207,6 +208,28 @@ type Log struct {
 	syncedSeq   atomic.Uint64
 	lastSeq     atomic.Uint64
 	sizeAtomic  atomic.Uint64
+
+	// appendObs/syncObs, when installed (SetObs), receive every append's
+	// write duration (excluding the policy fsync) and every fsync's
+	// duration; lastSync remembers the most recent fsync's duration so
+	// the owner — which serializes appends under its own mutex — can
+	// attribute it to the query that paid it.
+	appendObs *obs.Histogram
+	syncObs   *obs.Histogram
+	lastSync  atomic.Int64
+}
+
+// SetObs installs the append and fsync duration histograms. Call before
+// the log serves appends; either may be nil.
+func (l *Log) SetObs(appendHist, syncHist *obs.Histogram) {
+	l.appendObs, l.syncObs = appendHist, syncHist
+}
+
+// LastSyncDuration reports the duration of the most recent successful
+// fsync. Under the owner's append lock this is exactly the fsync the
+// current SyncAlways append paid.
+func (l *Log) LastSyncDuration() time.Duration {
+	return time.Duration(l.lastSync.Load())
 }
 
 // Policy reports the configured fsync policy.
@@ -267,6 +290,7 @@ func (l *Log) Append(shard uint32, doc string) (uint64, error) {
 		return 0, fmt.Errorf("wal: document of %d bytes exceeds the %d-byte record cap", len(doc), l.opt.maxRecord())
 	}
 	seq := l.seq + 1
+	t0 := time.Now()
 
 	need := recHdrSize + recMinBody + len(doc)
 	if cap(l.buf) < need {
@@ -299,6 +323,7 @@ func (l *Log) Append(shard uint32, doc string) (uint64, error) {
 	l.lastSeq.Store(seq)
 	l.appends.Add(1)
 	l.appendBytes.Add(uint64(len(b)))
+	l.appendObs.Since(t0)
 	if l.opt.Policy == SyncAlways {
 		if err := l.Sync(); err != nil {
 			return 0, err
@@ -351,10 +376,12 @@ func (l *Log) Sync() error {
 	}
 	fault := resilience.IOFault{Op: "sync"}
 	resilience.Inject(resilience.FailWALSync, &fault)
+	t0 := time.Now()
 	err := fault.Err
 	if err == nil {
 		err = l.f.Sync()
 	}
+	d := time.Since(t0)
 	if err != nil {
 		l.syncErrors.Add(1)
 		l.wedged = fmt.Errorf("wal: fsync failed, log wedged: %w", err)
@@ -363,6 +390,8 @@ func (l *Log) Sync() error {
 	l.dirty = false
 	l.syncs.Add(1)
 	l.syncedSeq.Store(l.seq)
+	l.syncObs.Observe(d)
+	l.lastSync.Store(int64(d))
 	return nil
 }
 

@@ -1,0 +1,87 @@
+package spanjoin
+
+import (
+	"context"
+
+	"spanjoin/internal/obs"
+)
+
+// Observability: every Corpus carries a metrics registry — counters,
+// gauges and latency histograms wired through the admission gate, the
+// prefilter, the worker pools, the compiled-query cache and (on a
+// durable corpus) the write-ahead log — and any individual query can be
+// traced per stage by attaching a QueryTrace to its context.
+//
+//	ctx, tr := spanjoin.WithTrace(ctx)
+//	ms, _ := c.Eval(ctx, pattern)
+//	... drain ...
+//	for _, s := range tr.Spans() {
+//	    fmt.Println(s.Stage, s.Dur)
+//	}
+//
+// Tracing is opt-in per query: the hot enumeration path checks the
+// context once per evaluation, never per tuple, so untraced queries pay
+// one context lookup and nothing else.
+
+// MetricsRegistry holds a corpus's metrics. Scrape it with
+// WritePrometheus (text exposition format, what spand serves on
+// /metrics) or Snapshot (structured points with exact p50/p90/p99 for
+// histograms, what /stats embeds).
+type MetricsRegistry = obs.Registry
+
+// MetricPoint is one metric series in a MetricsRegistry.Snapshot.
+type MetricPoint = obs.MetricPoint
+
+// QueryTrace records per-stage wall time of the queries evaluated under
+// a context carrying it. Safe for concurrent use; read it after the
+// evaluation drains.
+type QueryTrace = obs.Trace
+
+// StageSpan is one stage of a QueryTrace: offset from the trace start,
+// duration, and stage-specific item counts (documents scanned, results
+// delivered, cache misses).
+type StageSpan = obs.StageSpan
+
+// The stages a traced corpus query can record.
+const (
+	// StageAdmission is the wait for an admission-gate slot.
+	StageAdmission = obs.StageAdmission
+	// StageCache is the compiled-query cache lookup; Items=1 on a miss.
+	StageCache = obs.StageCache
+	// StagePlanBuild is plan compilation, recorded only when this query
+	// actually ran it (a cache miss on an unmemoized Spanner or Query).
+	StagePlanBuild = obs.StagePlan
+	// StagePrefilter is snapshot capture plus skip-index candidate
+	// selection.
+	StagePrefilter = obs.StagePrefilter
+	// StageEnumerate is the worker pool's lifetime for a streaming
+	// evaluation; Items counts delivered results.
+	StageEnumerate = obs.StageEnumerate
+	// StageCount is the worker pool's lifetime for a counting sweep;
+	// Items counts scanned documents.
+	StageCount = obs.StageCount
+	// StageWALAppend is the write-ahead-log record write of a traced
+	// AddErrCtx, excluding the policy fsync.
+	StageWALAppend = obs.StageWALAppend
+	// StageWALSync is the fsync a SyncAlways append paid.
+	StageWALSync = obs.StageWALSync
+	// StageSnapshot is a full snapshot cycle (spand's POST /snapshot).
+	StageSnapshot = obs.StageSnapshot
+)
+
+// WithTrace attaches a fresh QueryTrace to the context: corpus
+// evaluations, counts and durable writes under the returned context
+// record their stages into it.
+func WithTrace(ctx context.Context) (context.Context, *QueryTrace) {
+	return obs.WithTrace(ctx)
+}
+
+// TraceFromContext returns the context's QueryTrace, or nil.
+func TraceFromContext(ctx context.Context) *QueryTrace {
+	return obs.FromContext(ctx)
+}
+
+// Metrics returns the corpus's metrics registry. It is always non-nil
+// and registration is cheap, so callers may add their own instruments
+// (spand adds per-endpoint request histograms).
+func (c *Corpus) Metrics() *MetricsRegistry { return c.reg }

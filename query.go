@@ -77,9 +77,11 @@ func (q *Query) compiledAutomaton() (*vsa.VSA, error) {
 
 // compiledPlan memoizes the enum.Plan of the compiled automaton, so every
 // evaluation of an equality-free query — per document or corpus-wide —
-// shares one trimmed automaton, closure set and transition table.
-func (q *Query) compiledPlan() (*enum.Plan, error) {
+// shares one trimmed automaton, closure set and transition table. built
+// reports whether this call ran the compilation (see Spanner.compiledPlan).
+func (q *Query) compiledPlan() (p *enum.Plan, built bool, err error) {
 	q.planOnce.Do(func() {
+		built = true
 		auto, err := q.compiledAutomaton()
 		if err != nil {
 			q.planErr = err
@@ -87,7 +89,7 @@ func (q *Query) compiledPlan() (*enum.Plan, error) {
 		}
 		q.plan, q.planErr = enum.NewPlan(auto)
 	})
-	return q.plan, q.planErr
+	return q.plan, built, q.planErr
 }
 
 // joinedAtoms memoizes CQ.JoinAtoms: the document-independent join prefix

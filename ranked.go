@@ -107,7 +107,7 @@ func (s *Spanner) rankedOpts(doc string, o core.Options) (*Ranked, error) {
 	if s.prefilterEmpty(doc) {
 		return &Ranked{vars: s.auto.Vars, doc: doc}, nil
 	}
-	p, err := s.compiledPlan()
+	p, _, err := s.compiledPlan()
 	if err != nil {
 		return nil, err
 	}

@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"spanjoin"
+	"spanjoin/internal/obs"
 )
 
 // Write/durability surface of the server, meaningful for a spand started
@@ -56,7 +58,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode(ErrorBody{Error: fmt.Sprintf("document too large (cap %d bytes): %v", s.cfg.maxDocBytes(), err)})
 		return
 	}
-	id, err := s.corpus.AddErr(string(body))
+	id, err := s.corpus.AddErrCtx(r.Context(), string(body))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -88,8 +90,15 @@ func (s *Server) handleDoc(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSnapshot forces one snapshot cycle. No-op 200 on a RAM corpus.
+// The request's trace records the cycle as the snapshot stage (the store
+// itself has no context on its snapshot path — the trigger does).
+//
+//spanjoin:stage snapshot
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if err := s.corpus.Snapshot(); err != nil {
+	t0 := time.Now()
+	err := s.corpus.Snapshot()
+	spanjoin.TraceFromContext(r.Context()).Observe(obs.StageSnapshot, time.Since(t0))
+	if err != nil {
 		s.writeError(w, err)
 		return
 	}

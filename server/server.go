@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"spanjoin"
+	"spanjoin/internal/obs"
 )
 
 // Config tunes a Server; the zero value selects every default.
@@ -51,6 +53,19 @@ type Config struct {
 	// MaxDocBytes clamps POST /add's request body (default 16 MiB);
 	// larger documents answer 413 without being read fully.
 	MaxDocBytes int64
+	// SlowQuery is the slow-query threshold: requests at least this slow
+	// are retained — with their full stage trace — in the ring served by
+	// GET /debug/slowlog. ≤ 0 disables the slowlog (the default).
+	SlowQuery time.Duration
+	// SlowLogSize is the slowlog ring's capacity (default 128).
+	SlowLogSize int
+	// EnablePprof mounts the standard runtime profiles under
+	// GET /debug/pprof/ — on this server's mux only, never the
+	// DefaultServeMux. Off by default: profiles expose internals.
+	EnablePprof bool
+	// Logger, when set, gets one structured line per request: id,
+	// handler, query, status, duration. nil disables request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) maxDocBytes() int64 {
@@ -100,20 +115,45 @@ type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
 
+	// Observability plumbing (see obs.go): the corpus's metrics registry
+	// (the server adds its request metrics to it), the slow-query ring,
+	// the optional request logger, and the request-ID mint.
+	reg    *spanjoin.MetricsRegistry
+	slow   *obs.SlowLog
+	logger *slog.Logger
+	idBase string
+	reqSeq atomic.Uint64
+
 	served atomic.Uint64 // requests answered 2xx
 	failed atomic.Uint64 // requests answered with any error status
 }
 
 // New wraps a corpus in a query server.
 func New(c *spanjoin.Corpus, cfg Config) *Server {
-	s := &Server{corpus: c, cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /eval", s.handleEval)
-	s.mux.HandleFunc("GET /count", s.handleCount)
-	s.mux.HandleFunc("GET /sample", s.handleSample)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("POST /add", s.handleAdd)
-	s.mux.HandleFunc("GET /doc", s.handleDoc)
-	s.mux.HandleFunc("POST /snapshot", s.handleSnapshot)
+	s := &Server{
+		corpus: c,
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		reg:    c.Metrics(),
+		slow:   obs.NewSlowLog(cfg.slowLogSize(), cfg.SlowQuery),
+		logger: cfg.Logger,
+		idBase: strconv.FormatInt(time.Now().UnixNano(), 36),
+	}
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(name, h))
+	}
+	handle("GET /eval", "eval", s.handleEval)
+	handle("GET /count", "count", s.handleCount)
+	handle("GET /sample", "sample", s.handleSample)
+	handle("GET /stats", "stats", s.handleStats)
+	handle("POST /add", "add", s.handleAdd)
+	handle("GET /doc", "doc", s.handleDoc)
+	handle("POST /snapshot", "snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/slowlog", s.handleSlowlog)
+	if cfg.EnablePprof {
+		s.mountPprof()
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -169,6 +209,9 @@ type Trailer struct {
 	Error     string  `json:"error,omitempty"`
 	Class     string  `json:"class,omitempty"`
 	Doc       *uint64 `json:"doc,omitempty"` // poisoned document, panic class only
+	// Trace is the request's per-stage breakdown, present when the
+	// request asked with trace=1.
+	Trace []spanjoin.StageSpan `json:"trace,omitempty"`
 }
 
 // ErrorBody is the JSON body of a request that failed before any result
@@ -362,6 +405,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Delivered: len(page.Matches),
 		Total:     page.Total.String(),
 		Stats:     &Stats{Scanned: page.Stats.Scanned, Skipped: page.Stats.Skipped, SkippedIndex: page.Stats.SkippedIndex},
+		Trace:     traceSpans(r),
 	}
 	if more {
 		t.Next = next.Token()
@@ -419,6 +463,7 @@ func (s *Server) evalBudgeted(w http.ResponseWriter, r *http.Request, cur spanjo
 		Done:      evalErr == nil,
 		Delivered: len(rows),
 		Stats:     &Stats{Scanned: st.Scanned, Skipped: st.Skipped, SkippedIndex: st.SkippedIndex},
+		Trace:     traceSpans(r),
 	}
 	if evalErr != nil {
 		t.Error = evalErr.Error()
@@ -431,6 +476,8 @@ func (s *Server) evalBudgeted(w http.ResponseWriter, r *http.Request, cur spanjo
 // CountBody is /count's response.
 type CountBody struct {
 	Count json.Number `json:"count"` // exact decimal; valid past uint64
+	// Trace is the request's per-stage breakdown, present with trace=1.
+	Trace []spanjoin.StageSpan `json:"trace,omitempty"`
 }
 
 // handleCount serves the exact corpus-wide result count — the ranked DP
@@ -463,7 +510,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(CountBody{Count: json.Number(n.String())})
+	json.NewEncoder(w).Encode(CountBody{Count: json.Number(n.String()), Trace: traceSpans(r)})
 }
 
 // handleSample serves n i.i.d. uniform matches from the corpus-wide
@@ -514,7 +561,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	for _, cm := range ms {
 		enc.Encode(RowOf(cm))
 	}
-	enc.Encode(Trailer{Done: true, Delivered: len(ms)})
+	enc.Encode(Trailer{Done: true, Delivered: len(ms), Trace: traceSpans(r)})
 }
 
 // StatsBody is /stats' response: corpus shape, compiled-query cache,
@@ -541,6 +588,12 @@ type StatsBody struct {
 	// Durability is present only for a corpus opened from a data
 	// directory (spand -data); RAM corpora omit the section.
 	Durability *spanjoin.DurabilityStats `json:"durability,omitempty"`
+	// Metrics is the registry snapshot — every series /metrics exposes,
+	// with exact p50/p90/p99 precomputed for histograms. /metrics is the
+	// machine-readable (Prometheus) superset; this section serves humans
+	// and tests. Earlier fields are unchanged, so pre-existing /stats
+	// consumers keep working.
+	Metrics []spanjoin.MetricPoint `json:"metrics"`
 }
 
 // handleStats serves the operational counters.
@@ -558,6 +611,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ds := s.corpus.DurabilityStats()
 		b.Durability = &ds
 	}
+	b.Metrics = s.reg.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(b)
 }

@@ -124,10 +124,15 @@ type Spanner struct {
 // evaluation path (Iterate, Stream, EvalAllParallel, the corpus fan-out)
 // shares it, so trimming, the functionality check, closure computation and
 // the transition-table build happen once per Spanner however the spanner
-// is driven.
-func (s *Spanner) compiledPlan() (*enum.Plan, error) {
-	s.planOnce.Do(func() { s.plan, s.planErr = enum.NewPlan(s.auto) })
-	return s.plan, s.planErr
+// is driven. built reports whether this call ran the compilation — the
+// corpus layer records the plan_build stage only then, so cached queries
+// never report a phantom build.
+func (s *Spanner) compiledPlan() (p *enum.Plan, built bool, err error) {
+	s.planOnce.Do(func() {
+		s.plan, s.planErr = enum.NewPlan(s.auto)
+		built = true
+	})
+	return s.plan, built, s.planErr
 }
 
 // Compile parses and compiles a regex-formula pattern.
@@ -207,7 +212,7 @@ func (s *Spanner) prefilterEmpty(doc string) bool {
 	if s.req.IsEmpty() || s.req.Match(doc) {
 		return false
 	}
-	_, err := s.compiledPlan()
+	_, _, err := s.compiledPlan()
 	return err == nil
 }
 
@@ -218,7 +223,7 @@ func (s *Spanner) Iterate(doc string) (*Matches, error) {
 	if s.prefilterEmpty(doc) {
 		return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
 	}
-	p, err := s.compiledPlan()
+	p, _, err := s.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +243,7 @@ func (s *Spanner) IterateCtx(ctx context.Context, doc string) (*Matches, error) 
 	if s.prefilterEmpty(doc) {
 		return &Matches{it: emptyIter{}, vars: s.auto.Vars, doc: doc}, nil
 	}
-	p, err := s.compiledPlan()
+	p, _, err := s.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +334,7 @@ func (st *Stream) Iterate(doc string) (*Matches, error) {
 		return &Matches{it: emptyIter{}, vars: sp.auto.Vars, doc: doc}, nil
 	}
 	if st.e == nil {
-		p, err := sp.compiledPlan()
+		p, _, err := sp.compiledPlan()
 		if err != nil {
 			return nil, err
 		}
@@ -384,7 +389,7 @@ func (s *Spanner) EvalAllParallel(docs []string, workers int) ([][]Match, error)
 // ctx between documents and periodically within each enumeration, so the
 // call aborts mid-stream and returns ctx's error.
 func (s *Spanner) EvalAllParallelCtx(ctx context.Context, docs []string, workers int) ([][]Match, error) {
-	p, err := s.compiledPlan()
+	p, _, err := s.compiledPlan()
 	if err != nil {
 		return nil, err
 	}
